@@ -1,0 +1,128 @@
+package jointstream
+
+import (
+	"fmt"
+	"testing"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// Ablation benchmarks for the design choices called out in DESIGN.md that
+// the paper leaves unspecified: the channel-noise intensity, the sine fade
+// period, the ON-OFF player watermarks, and the EStreamer burst size. Each
+// runs a small scenario end to end so `-benchmem` also tracks allocation
+// behaviour of the full simulation path.
+
+// ablationWorkload builds a small deterministic scenario.
+func ablationWorkload(b *testing.B, mutate func(*workload.Config)) []*workload.Session {
+	b.Helper()
+	cfg := workload.PaperDefaults(8)
+	cfg.SizeMin = 20 * units.Megabyte
+	cfg.SizeMax = 30 * units.Megabyte
+	cfg.Signal.PeriodSlots = 120
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	wl, err := workload.Generate(cfg, rng.New(17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wl
+}
+
+func runAblation(b *testing.B, wl []*workload.Session, s sched.Scheduler) *cell.Result {
+	b.Helper()
+	cfg := cell.PaperConfig()
+	cfg.Capacity = 5000
+	cfg.MaxSlots = 1500
+	sim, err := cell.New(cfg, wl, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationNoiseIntensity sweeps the WGN sigma of the paper's
+// "30 dBm noise intensity", the parameter with the strongest influence on
+// how often RTMA's admission threshold is crossed.
+func BenchmarkAblationNoiseIntensity(b *testing.B) {
+	for _, sigma := range []float64{0, 10, 30} {
+		b.Run(fmt.Sprintf("sigma=%g", sigma), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wl := ablationWorkload(b, func(c *workload.Config) { c.Signal.NoiseStdDBm = sigma })
+				res := runAblation(b, wl, sched.NewDefault())
+				if res.Slots == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFadePeriod sweeps the sine period (unpublished in the
+// paper), which sets how long a weak-signal drought lasts.
+func BenchmarkAblationFadePeriod(b *testing.B) {
+	for _, period := range []int{60, 240, 600} {
+		b.Run(fmt.Sprintf("period=%d", period), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wl := ablationWorkload(b, func(c *workload.Config) { c.Signal.PeriodSlots = period })
+				em, err := sched.NewEMA(sched.EMAConfig{V: 0.2, RRC: cell.PaperConfig().RRC})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := runAblation(b, wl, em)
+				if res.Slots == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOnOffWatermarks sweeps the ON-OFF player's buffer
+// hysteresis band, the main unknown in reproducing the [14] baseline.
+func BenchmarkAblationOnOffWatermarks(b *testing.B) {
+	for _, wm := range []struct{ low, high units.Seconds }{
+		{5, 20}, {10, 40}, {20, 80},
+	} {
+		b.Run(fmt.Sprintf("low=%v,high=%v", float64(wm.low), float64(wm.high)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oo, err := sched.NewOnOff(wm.low, wm.high)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := runAblation(b, ablationWorkload(b, nil), oo)
+				if res.Slots == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEStreamerBurst sweeps the EStreamer burst watermark,
+// trading tail count against buffer bloat.
+func BenchmarkAblationEStreamerBurst(b *testing.B) {
+	for _, burst := range []units.Seconds{15, 30, 60} {
+		b.Run(fmt.Sprintf("burst=%v", float64(burst)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				es, err := sched.NewEStreamer(burst, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := runAblation(b, ablationWorkload(b, nil), es)
+				if res.Slots == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,264 @@
+// Package jointstream's top-level benchmarks regenerate every figure of
+// the paper's evaluation (one benchmark per figure) plus micro-benchmarks
+// of the two scheduling algorithms.
+//
+// By default the figure benchmarks run the miniature CI workload so that
+// `go test -bench=.` completes in seconds. Set JOINTSTREAM_PAPER_SCALE=1
+// to benchmark the full §VI workload (N up to 40, 250–500 MB videos);
+// cmd/jstream-bench prints the corresponding figure tables.
+package jointstream
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/experiments"
+	"jointstream/internal/rng"
+	"jointstream/internal/rrc"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// benchOptions picks the experiment scale.
+func benchOptions() experiments.Options {
+	if os.Getenv("JOINTSTREAM_PAPER_SCALE") != "" {
+		return experiments.PaperOptions()
+	}
+	return experiments.QuickOptions()
+}
+
+// benchFigure runs one figure end to end per iteration and sanity-checks
+// the output so a silently empty figure fails the benchmark.
+func benchFigure(b *testing.B, f func(*experiments.Runner) (*experiments.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.NewRunner(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig, err := f(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatalf("%s: empty figure", fig.ID)
+		}
+		for _, s := range fig.Series {
+			if len(s.X) == 0 || len(s.X) != len(s.Y) {
+				b.Fatalf("%s/%s: malformed series", fig.ID, s.Label)
+			}
+		}
+	}
+}
+
+func BenchmarkFig02Fairness(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig2)
+}
+
+func BenchmarkFig03RebufferCDF(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig3)
+}
+
+func BenchmarkFig04aAlphaUsers(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig4a)
+}
+
+func BenchmarkFig04bAlphaData(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig4b)
+}
+
+func BenchmarkFig05aRebufferCompare(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig5a)
+}
+
+func BenchmarkFig05bEnergyCompare(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig5b)
+}
+
+func BenchmarkFig06FairnessEMA(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig6)
+}
+
+func BenchmarkFig07PowerCDF(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig7)
+}
+
+func BenchmarkFig08aBetaUsers(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig8a)
+}
+
+func BenchmarkFig08bBetaData(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig8b)
+}
+
+func BenchmarkFig09aEnergyCompare(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig9a)
+}
+
+func BenchmarkFig09bRebufferCompare(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig9b)
+}
+
+func BenchmarkFig10TradeoffPanel(b *testing.B) {
+	benchFigure(b, (*experiments.Runner).Fig10)
+}
+
+// BenchmarkClaims regenerates the headline-claims table.
+func BenchmarkClaims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.NewRunner(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		claims, err := r.Claims()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(claims) != 6 {
+			b.Fatalf("got %d claims", len(claims))
+		}
+	}
+}
+
+// --- algorithm micro-benchmarks -------------------------------------
+
+// benchSlot builds a representative 40-user slot.
+func benchSlot(users, capacityUnits int) (*sched.Slot, []int) {
+	src := rng.New(9)
+	slot := &sched.Slot{
+		Tau: 1, Unit: 100, CapacityUnits: capacityUnits,
+		Users: make([]sched.User, users),
+	}
+	for i := range slot.Users {
+		sig := units.DBm(src.Uniform(-110, -50))
+		link := units.KBps(65.8*float64(sig) + 7567)
+		slot.Users[i] = sched.User{
+			Index: i, Active: true, Sig: sig, LinkRate: link,
+			EnergyPerKB: units.MJ(-0.167 + 1560/float64(link)),
+			Rate:        units.KBps(src.Uniform(300, 600)),
+			RemainingKB: 1e9,
+			MaxUnits:    int(float64(link) / 100),
+		}
+	}
+	return slot, make([]int, users)
+}
+
+func BenchmarkRTMAAllocate40Users(b *testing.B) {
+	rt, err := sched.NewRTMA(sched.RTMAConfig{
+		Budget: 950, Radio: cell.PaperConfig().Radio, RRC: rrc.Paper3G(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot, alloc := benchSlot(40, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range alloc {
+			alloc[j] = 0
+		}
+		rt.Allocate(slot, alloc)
+	}
+}
+
+func BenchmarkEMAAllocate40Users(b *testing.B) {
+	em, err := sched.NewEMA(sched.EMAConfig{V: 0.2, RRC: rrc.Paper3G()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot, alloc := benchSlot(40, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range alloc {
+			alloc[j] = 0
+		}
+		em.Allocate(slot, alloc)
+	}
+}
+
+// BenchmarkSimulatorSlotThroughput measures raw simulator slots/second at
+// N=20 with the Default scheduler.
+func BenchmarkSimulatorSlotThroughput(b *testing.B) {
+	cfg := cell.PaperConfig()
+	cfg.MaxSlots = b.N
+	cfg.RunFullHorizon = true
+	wl, err := workload.Generate(workload.PaperDefaults(20), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := cell.New(cfg, wl, sched.NewDefault())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- ablation benches (DESIGN.md, Design choices) --------------------
+
+// BenchmarkAblationUnitSize sweeps the data-unit size δ, the main knob of
+// the EMA DP's state space.
+func BenchmarkAblationUnitSize(b *testing.B) {
+	for _, unit := range []units.KB{50, 100, 200, 400} {
+		b.Run(unit.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cell.PaperConfig()
+				cfg.Unit = unit
+				cfg.MaxSlots = 400
+				cfg.RunFullHorizon = true
+				wl, err := workload.Generate(workload.PaperDefaults(10), rng.New(3))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range wl {
+					s.Size = 50 * units.Megabyte
+				}
+				em, err := sched.NewEMA(sched.EMAConfig{V: 0.2, RRC: cfg.RRC})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim, err := cell.New(cfg, wl, em)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVSweep exercises the Lyapunov V trade-off directly.
+func BenchmarkAblationVSweep(b *testing.B) {
+	for _, v := range []float64{0.01, 0.1, 1} {
+		b.Run(fmt.Sprintf("V=%g", v), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cell.PaperConfig()
+				cfg.MaxSlots = 400
+				wl, err := workload.Generate(workload.PaperDefaults(10), rng.New(3))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range wl {
+					s.Size = 50 * units.Megabyte
+				}
+				em, err := sched.NewEMA(sched.EMAConfig{V: v, RRC: cfg.RRC})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim, err := cell.New(cfg, wl, em)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,258 @@
+// Command jstream-bench regenerates the paper's evaluation figures
+// (Figs. 2–10) and checks the headline claims.
+//
+// Usage:
+//
+//	jstream-bench                 # every figure + claims at paper scale
+//	jstream-bench -fig 5a         # one figure
+//	jstream-bench -claims         # claims table only
+//	jstream-bench -quick          # miniature workload (seconds, CI)
+//
+// Output is a set of aligned ASCII tables, one per figure, in the same
+// units the paper plots.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jointstream/internal/experiments"
+	"jointstream/internal/report"
+)
+
+func main() {
+	var (
+		figID      = flag.String("fig", "all", "figure to regenerate: all|2|3|4a|4b|5a|5b|6|7|8a|8b|9a|9b|10")
+		quick      = flag.Bool("quick", false, "use the miniature CI workload")
+		claimsOnly = flag.Bool("claims", false, "print only the headline-claims table")
+		seed       = flag.Uint64("seed", 0, "override workload seed (0 keeps the default)")
+		ext        = flag.String("ext", "", "extension experiment: lte|vbr|arrivals|dormancy|oracle|abr|adaptive|seeds")
+		seeds      = flag.Int("seeds", 3, "seed count for -ext seeds")
+		jsonOut    = flag.String("json", "", "also export the regenerated figures as JSON to this file")
+		parallel   = flag.Bool("parallel", false, "regenerate all figures concurrently on all CPUs")
+		htmlOut    = flag.String("html", "", "also render the regenerated figures as an HTML report to this file")
+		diffBase   = flag.String("diff", "", "compare a fresh run against this baseline JSON export and report drift")
+		diffTol    = flag.Float64("tol", 0.001, "relative tolerance for -diff")
+	)
+	flag.Parse()
+	if *ext != "" {
+		if err := runExt(*ext, *quick, *seed, *seeds); err != nil {
+			fmt.Fprintln(os.Stderr, "jstream-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diffBase != "" {
+		if err := runDiff(*diffBase, *quick, *seed, *diffTol); err != nil {
+			fmt.Fprintln(os.Stderr, "jstream-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*figID, *quick, *claimsOnly, *seed, *jsonOut, *htmlOut, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "jstream-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func runExt(name string, quick bool, seed uint64, seeds int) error {
+	opts := experiments.PaperOptions()
+	if quick {
+		opts = experiments.QuickOptions()
+	}
+	if seed != 0 {
+		opts.Seed = seed
+	}
+	r, err := experiments.NewRunner(opts)
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "lte":
+		return renderOne(r.ExtLTE)
+	case "vbr":
+		return renderOne(r.ExtVBR)
+	case "arrivals":
+		return renderOne(r.ExtArrivals)
+	case "dormancy":
+		return renderOne(r.ExtFastDormancy)
+	case "oracle":
+		return renderOne(r.ExtOracleGap)
+	case "abr":
+		return renderOne(r.ExtABR)
+	case "adaptive":
+		return renderOne(r.ExtAdaptive)
+	case "seeds":
+		stats, err := r.ExtMultiSeed(seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Multi-seed robustness (%d seeds):\n", seeds)
+		return experiments.RenderSeedStats(os.Stdout, stats)
+	default:
+		return fmt.Errorf("unknown extension %q", name)
+	}
+}
+
+func renderOne(f func() (*experiments.Figure, error)) error {
+	fig, err := f()
+	if err != nil {
+		return err
+	}
+	return experiments.Render(os.Stdout, fig)
+}
+
+// runDiff regenerates all figures and compares them to a baseline export.
+func runDiff(baseline string, quick bool, seed uint64, tol float64) error {
+	f, err := os.Open(baseline)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	want, err := experiments.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	opts := experiments.PaperOptions()
+	if quick {
+		opts = experiments.QuickOptions()
+	}
+	if seed != 0 {
+		opts.Seed = seed
+	}
+	r, err := experiments.NewRunner(opts)
+	if err != nil {
+		return err
+	}
+	got, err := r.AllParallel(context.Background(), 0)
+	if err != nil {
+		return err
+	}
+	diffs, err := experiments.Diff(got, want, tol)
+	if err != nil {
+		return err
+	}
+	if len(diffs) == 0 {
+		fmt.Printf("all %d figures match %s (tolerance %.2g)\n", len(got), baseline, tol)
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	return fmt.Errorf("%d differences against %s", len(diffs), baseline)
+}
+
+func exportOutputs(rendered []*experiments.Figure, jsonOut, htmlOut string) error {
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteJSON(f, rendered); err != nil {
+			return err
+		}
+		fmt.Printf("figures exported to %s\n", jsonOut)
+	}
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteHTML(f, "jointstream reproduction report", rendered); err != nil {
+			return err
+		}
+		fmt.Printf("HTML report written to %s\n", htmlOut)
+	}
+	return nil
+}
+
+func run(figID string, quick, claimsOnly bool, seed uint64, jsonOut, htmlOut string, parallel bool) error {
+	opts := experiments.PaperOptions()
+	if quick {
+		opts = experiments.QuickOptions()
+	}
+	if seed != 0 {
+		opts.Seed = seed
+	}
+	r, err := experiments.NewRunner(opts)
+	if err != nil {
+		return err
+	}
+
+	if claimsOnly {
+		return printClaims(r)
+	}
+
+	if parallel && strings.ToLower(figID) == "all" {
+		rendered, err := r.AllParallel(context.Background(), 0)
+		if err != nil {
+			return err
+		}
+		for _, figure := range rendered {
+			if err := experiments.Render(os.Stdout, figure); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if err := exportOutputs(rendered, jsonOut, htmlOut); err != nil {
+			return err
+		}
+		return printClaims(r)
+	}
+
+	type fig struct {
+		id string
+		f  func() (*experiments.Figure, error)
+	}
+	figs := []fig{
+		{"2", r.Fig2}, {"3", r.Fig3},
+		{"4a", r.Fig4a}, {"4b", r.Fig4b},
+		{"5a", r.Fig5a}, {"5b", r.Fig5b},
+		{"6", r.Fig6}, {"7", r.Fig7},
+		{"8a", r.Fig8a}, {"8b", r.Fig8b},
+		{"9a", r.Fig9a}, {"9b", r.Fig9b},
+		{"10", r.Fig10},
+	}
+	want := strings.ToLower(figID)
+	matched := false
+	var rendered []*experiments.Figure
+	for _, f := range figs {
+		if want != "all" && want != f.id {
+			continue
+		}
+		matched = true
+		figure, err := f.f()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f.id, err)
+		}
+		rendered = append(rendered, figure)
+		if err := experiments.Render(os.Stdout, figure); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", figID)
+	}
+	if err := exportOutputs(rendered, jsonOut, htmlOut); err != nil {
+		return err
+	}
+	if want == "all" {
+		return printClaims(r)
+	}
+	return nil
+}
+
+func printClaims(r *experiments.Runner) error {
+	claims, err := r.Claims()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Headline claims (paper vs this reproduction):")
+	return experiments.RenderClaims(os.Stdout, claims)
+}

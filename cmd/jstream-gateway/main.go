@@ -1,0 +1,209 @@
+// Command jstream-gateway runs the paper's Fig. 1 framework as a live TCP
+// gateway on localhost: simulated mobile clients connect, continuously
+// report their RSSI and required bit-rate, and receive scheduled video
+// bytes slot by slot. The wire protocol lives in internal/gateway (tcp.go).
+//
+// Run the demo end to end with the built-in clients:
+//
+//	jstream-gateway -clients 4 -sched rtma -slot 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"jointstream/internal/gateway"
+	"jointstream/internal/radio"
+	"jointstream/internal/rng"
+	"jointstream/internal/rrc"
+	"jointstream/internal/sched"
+	"jointstream/internal/signal"
+	"jointstream/internal/units"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "rtma", "scheduler: default|rtma|ema|propfair")
+		clients   = flag.Int("clients", 4, "number of simulated clients to spawn")
+		videoKB   = flag.Float64("video", 2000, "video size per client (KB)")
+		slotDur   = flag.Duration("slot", 100*time.Millisecond, "wall-clock slot length")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
+		budget    = flag.Float64("budget", 950, "RTMA energy budget (mJ)")
+		v         = flag.Float64("v", 0.2, "EMA Lyapunov weight")
+		httpAddr  = flag.String("http", "", "serve the monitoring API (healthz/stats/summary) on this address")
+	)
+	flag.Parse()
+	if err := run(*schedName, *clients, *videoKB, *slotDur, *addr, *budget, *v, *httpAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "jstream-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func buildScheduler(name string, budget, v float64) (sched.Scheduler, error) {
+	switch name {
+	case "default":
+		return sched.NewDefault(), nil
+	case "rtma":
+		return sched.NewRTMA(sched.RTMAConfig{
+			Budget: units.MJ(budget), Radio: radio.Paper3G(), RRC: rrc.Paper3G(),
+		})
+	case "ema":
+		return sched.NewEMA(sched.EMAConfig{V: v, RRC: rrc.Paper3G()})
+	case "propfair":
+		return sched.NewProportionalFair(100)
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func run(schedName string, clients int, videoKB float64, slotDur time.Duration, addr string, budget, v float64, httpAddr string) error {
+	if clients <= 0 {
+		return fmt.Errorf("need at least one client")
+	}
+	s, err := buildScheduler(schedName, budget, v)
+	if err != nil {
+		return err
+	}
+	gw, err := gateway.New(gateway.Config{
+		Tau:      units.Seconds(slotDur.Seconds()),
+		Unit:     25,
+		Capacity: 20000,
+		Radio:    radio.Paper3G(),
+		RRC:      rrc.Paper3G(),
+		QueueCap: units.KB(videoKB),
+	}, s)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("gateway listening on %s, scheduler=%s, slot=%v\n", ln.Addr(), s.Name(), slotDur)
+
+	if httpAddr != "" {
+		mln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("monitoring listener: %w", err)
+		}
+		defer mln.Close()
+		fmt.Printf("monitoring API on http://%s (healthz, stats, summary)\n", mln.Addr())
+		go func() {
+			server := &http.Server{Handler: gateway.Handler(gw)}
+			server.Serve(mln)
+		}()
+	}
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if _, err := gateway.AttachConn(gw, conn, -80); err != nil {
+				fmt.Fprintln(os.Stderr, "attach:", err)
+				conn.Close()
+			}
+		}
+	}()
+
+	type clientResult struct {
+		id      int
+		bytes   int64
+		elapsed time.Duration
+		err     error
+	}
+	done := make(chan clientResult, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			start := time.Now()
+			res := clientResult{id: id}
+			res.bytes, res.err = runClient(ln.Addr().String(), uint64(id)+1, units.KB(videoKB))
+			res.elapsed = time.Since(start)
+			done <- res
+		}(i)
+	}
+
+	ticker := time.NewTicker(slotDur)
+	defer ticker.Stop()
+	deadline := time.After(5 * time.Minute)
+	for !gw.AllDone() || gw.Slot() == 0 {
+		select {
+		case <-ticker.C:
+			if _, err := gw.Step(); err != nil {
+				return err
+			}
+		case <-deadline:
+			return fmt.Errorf("demo did not complete within 5 minutes")
+		}
+	}
+	wg.Wait()
+	close(done)
+	for res := range done {
+		status := "ok"
+		if res.err != nil {
+			status = res.err.Error()
+		}
+		fmt.Printf("client %d: received %d bytes in %v [%s]\n",
+			res.id, res.bytes, res.elapsed.Round(time.Millisecond), status)
+	}
+	for i := 0; i < clients; i++ {
+		if st, err := gw.StatsFor(i); err == nil {
+			fmt.Printf("user %d: sent=%v energy=%v (tail %v)\n", i, st.SentKB, st.Energy(), st.TailEnergy)
+		}
+	}
+	fmt.Printf("gateway: %d slots\n", gw.Slot())
+	return nil
+}
+
+// runClient connects, reports a drifting random-walk signal, and reads
+// its whole video.
+func runClient(addr string, seed uint64, videoKB units.KB) (int64, error) {
+	c, err := gateway.DialClient(addr, videoKB, 400)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tr, err := signal.NewRandomWalk(signal.RandomWalkConfig{
+			Bounds: signal.DefaultBounds, Start: -70, StepStd: 4,
+		}, rng.New(seed))
+		if err != nil {
+			return
+		}
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(300 * time.Millisecond):
+				if err := c.ReportSignal(tr.At(n)); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	for !c.Done() {
+		if _, err := c.ReadFrame(); err != nil {
+			if err == io.EOF && c.Done() {
+				break
+			}
+			return c.ReceivedBytes(), err
+		}
+	}
+	return c.ReceivedBytes(), nil
+}

@@ -1,0 +1,78 @@
+// Battery-life example: translate the EM mode's energy savings into the
+// terms the paper motivates — battery endurance. It runs Default and EMA
+// on the same workload, then projects the per-video battery cost and the
+// continuous-streaming hours a 2015-class phone gets under each.
+//
+//	go run ./examples/battery-life
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jointstream/internal/battery"
+	"jointstream/internal/cell"
+	"jointstream/internal/core"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+func main() {
+	cellCfg := cell.PaperConfig()
+	cellCfg.Capacity = 8000
+	wl := workload.PaperDefaults(16)
+	wl.SizeMin = 30 * units.Megabyte
+	wl.SizeMax = 50 * units.Megabyte
+
+	rep, err := core.Run(core.Config{
+		Mode:     core.ModeEM,
+		Beta:     1.5, // allow some extra stalling headroom for max savings
+		Cell:     cellCfg,
+		Workload: wl,
+		Seed:     21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pack := battery.Typical2015Phone()
+	sessionSec := units.Seconds(rep.Reference.Slots) // whole-run horizon
+
+	defCost, err := pack.Session(rep.Reference.MeanEnergyPerUser, sessionSec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emaCost, err := pack.Session(rep.Result.MeanEnergyPerUser, units.Seconds(rep.Result.Slots))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("device: %.0f mAh @ %.1f V (%.1f kJ), baseline draw %v\n",
+		pack.CapacitymAh, pack.Voltage, float64(pack.TotalMJ())/1e6, pack.BaselineMW)
+	fmt.Printf("\nper-video battery cost (radio + screen/decode):\n")
+	fmt.Printf("  Default: %.2f%% of a charge (radio %v)\n", defCost.Percent, defCost.RadioMJ)
+	fmt.Printf("  EMA:     %.2f%% of a charge (radio %v)\n", emaCost.Percent, emaCost.RadioMJ)
+
+	extra, err := pack.ExtraSessions(defCost, emaCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -> %.1f extra videos per charge\n", extra)
+
+	// Continuous-streaming projection from average radio power.
+	defPower := units.MW(float64(rep.Reference.PE)) // mJ per user-slot at tau=1s == mW
+	emaPower := units.MW(float64(rep.Result.PE))
+	defHours, err := pack.StreamingHours(defPower)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emaHours, err := pack.StreamingHours(emaPower)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontinuous streaming on one charge:\n")
+	fmt.Printf("  Default: %.1f h (avg radio power %v)\n", defHours, defPower)
+	fmt.Printf("  EMA:     %.1f h (avg radio power %v)\n", emaHours, emaPower)
+	fmt.Printf("\n(EMA stall cost: %v vs Default %v per user)\n",
+		rep.Result.MeanRebufferPerUser, rep.Reference.MeanRebufferPerUser)
+}

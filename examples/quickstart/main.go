@@ -1,0 +1,52 @@
+// Quickstart: run the two-mode framework on a small multi-user scenario
+// and print the achieved rebuffering/energy trade-off against the Default
+// greedy strategy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/core"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+func main() {
+	// A 10-user cell with ~35 MB videos keeps the demo under a second;
+	// drop these overrides to simulate the paper's full 250-500 MB
+	// workload.
+	cellCfg := cell.PaperConfig()
+	cellCfg.Capacity = 5000 // 5 MB/s shared downlink
+	wl := workload.PaperDefaults(10)
+	wl.SizeMin = 25 * units.Megabyte
+	wl.SizeMax = 45 * units.Megabyte
+
+	for _, mode := range []core.Mode{core.ModeRTM, core.ModeEM} {
+		rep, err := core.Run(core.Config{
+			Mode:     mode,
+			Cell:     cellCfg,
+			Workload: wl,
+			Seed:     42,
+		})
+		if err != nil {
+			log.Fatalf("run %v: %v", mode, err)
+		}
+		fmt.Printf("== %s mode (%s) ==\n", mode, rep.Result.Scheduler)
+		switch mode {
+		case core.ModeRTM:
+			fmt.Printf("energy budget Phi=%v -> admission threshold %v\n", rep.Phi, rep.Threshold)
+		case core.ModeEM:
+			fmt.Printf("rebuffering bound Omega=%v -> Lyapunov V=%.3g\n", rep.Omega, rep.V)
+		}
+		fmt.Printf("%-18s rebuffer/user=%-8v energy/user=%v\n",
+			"Default:", rep.Reference.MeanRebufferPerUser, rep.Reference.MeanEnergyPerUser)
+		fmt.Printf("%-18s rebuffer/user=%-8v energy/user=%v\n",
+			rep.Result.Scheduler+":", rep.Result.MeanRebufferPerUser, rep.Result.MeanEnergyPerUser)
+		fmt.Printf("rebuffering %+.1f%%, energy %+.1f%% vs Default\n\n",
+			-rep.RebufferReduction*100, -rep.EnergyReduction*100)
+	}
+}

@@ -1,0 +1,3 @@
+module jointstream
+
+go 1.22

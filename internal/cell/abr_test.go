@@ -1,0 +1,131 @@
+package cell
+
+import (
+	"testing"
+
+	"jointstream/internal/abr"
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+func abrConfig() Config {
+	cfg := tinyConfig()
+	a := abr.DefaultConfig()
+	cfg.ABR = &a
+	return cfg
+}
+
+func TestABRConfigValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ABR = &abr.Config{} // invalid: empty ladder
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid ABR config accepted")
+	}
+}
+
+func TestABRSessionCompletes(t *testing.T) {
+	cfg := abrConfig()
+	// 150-second video (content time derives from Size/BaseRate), long
+	// enough to outlast the 60 s player buffer cap and let quality climb.
+	sessions := tinySessions(t, 1, 60000, 400)
+	sim, err := New(cfg, sessions, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Users[0]
+	if u.CompletionSlot < 0 {
+		t.Fatal("ABR session never completed")
+	}
+	if u.MeanQuality() <= 0 {
+		t.Error("no quality recorded")
+	}
+	// On a generous -60 dBm constant channel with ample capacity, the
+	// player must climb above its lowest rung.
+	if u.MeanQuality() <= 150 {
+		t.Errorf("mean quality %v pinned at the lowest rung", u.MeanQuality())
+	}
+	// Delivered bytes must be consistent with the ladder span: between
+	// duration x minRung and duration x maxRung.
+	dur := 150.0
+	if got := float64(u.DeliveredKB); got < dur*150*0.9 || got > dur*750*1.1 {
+		t.Errorf("delivered %v KB outside ladder-implied range", got)
+	}
+}
+
+func TestABRQualityDegradesUnderContention(t *testing.T) {
+	run := func(capacity units.KBps) units.KBps {
+		cfg := abrConfig()
+		cfg.Capacity = capacity
+		// Videos must outlast the player's 60 s buffer cap for quality to
+		// have room to climb: ~90-110 s of content at the nominal rates.
+		wl, err := workload.Generate(func() workload.Config {
+			c := workload.PaperDefaults(6)
+			c.SizeMin = 40 * units.Megabyte
+			c.SizeMax = 50 * units.Megabyte
+			c.Signal.PeriodSlots = 48
+			return c
+		}(), rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := New(cfg, wl, sched.NewDefault())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, u := range res.Users {
+			sum += float64(u.MeanQuality())
+		}
+		return units.KBps(sum / float64(len(res.Users)))
+	}
+	rich := run(20000)
+	poor := run(1200)
+	if poor >= rich {
+		t.Errorf("quality under contention (%v) not below uncontended (%v)", poor, rich)
+	}
+}
+
+func TestABRWithEMA(t *testing.T) {
+	cfg := abrConfig()
+	em, err := sched.NewEMA(sched.EMAConfig{V: 0.1, RRC: cfg.RRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := tinySessions(t, 2, 12000, 400)
+	sim, err := New(cfg, sessions, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range res.Users {
+		if u.CompletionSlot < 0 {
+			t.Errorf("ABR user %d never completed under EMA", i)
+		}
+	}
+}
+
+func TestFixedRateQualityEqualsBaseRate(t *testing.T) {
+	cfg := tinyConfig()
+	sessions := tinySessions(t, 1, 2000, 400)
+	sim, _ := New(cfg, sessions, sched.NewDefault())
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Users[0].MeanQuality(); got != 400 {
+		t.Errorf("fixed-rate quality = %v, want 400", got)
+	}
+}

@@ -1,0 +1,550 @@
+// Package cell implements the slotted base-station simulator that drives
+// the paper's evaluation: each slot it assembles the cross-layer view of
+// every user (signal, throughput, per-byte price, required rate, buffer
+// level, RRC tail state), asks the configured Scheduler for the data-unit
+// allocation, applies the physics — transmission energy Eq. (3), tail
+// energy Eq. (4), buffer recursion Eq. (7), rebuffering Eq. (8) — and
+// accumulates per-slot and per-user records for the metrics layer.
+package cell
+
+import (
+	"fmt"
+
+	"jointstream/internal/abr"
+	"jointstream/internal/playback"
+	"jointstream/internal/radio"
+	"jointstream/internal/rrc"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Tau is the slot length τ (1 s in the paper).
+	Tau units.Seconds
+	// Unit is the data-unit size δ in KB.
+	Unit units.KB
+	// Capacity is the base-station serving capacity S (20 MB/s in §VI).
+	Capacity units.KBps
+	// MaxSlots caps the run (10000 in §VI). The run ends earlier once
+	// every user finished playback, unless RunFullHorizon is set.
+	MaxSlots int
+	// RunFullHorizon keeps simulating to MaxSlots even after all sessions
+	// complete (matching a fixed Γ accounting).
+	RunFullHorizon bool
+	// Radio is the throughput/power model (Eq. 24).
+	Radio radio.Model
+	// RRC is the tail-energy profile (Eq. 4).
+	RRC rrc.Profile
+	// Strict makes the simulator fail the run if the scheduler violates
+	// Eq. (1)/(2) instead of silently clamping. Tests enable it.
+	Strict bool
+	// RecordPerUserSlots retains the per-user per-slot series needed for
+	// CDF figures (2, 3, 6, 7). Off for parameter sweeps to save memory.
+	RecordPerUserSlots bool
+	// ABR, when non-nil, replaces every session's fixed required rate
+	// with a buffer-based adaptive-bitrate player (internal/abr): each
+	// slot the player picks p_i(n) from its ladder based on buffer
+	// occupancy, and the video becomes a fixed content duration rather
+	// than a fixed byte size.
+	ABR *abr.Config
+}
+
+// PaperConfig returns the §VI defaults: τ = 1 s, S = 20 MB/s, 10000-slot
+// horizon, 3G radio and RRC models, δ = 100 KB.
+func PaperConfig() Config {
+	return Config{
+		Tau:      1,
+		Unit:     100,
+		Capacity: 20 * units.KBps(units.Megabyte),
+		MaxSlots: 10000,
+		Radio:    radio.Paper3G(),
+		RRC:      rrc.Paper3G(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Tau <= 0 {
+		return fmt.Errorf("cell: non-positive slot length %v", c.Tau)
+	}
+	if c.Unit <= 0 {
+		return fmt.Errorf("cell: non-positive unit size %v", c.Unit)
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("cell: non-positive capacity %v", c.Capacity)
+	}
+	if c.MaxSlots <= 0 {
+		return fmt.Errorf("cell: non-positive slot cap %d", c.MaxSlots)
+	}
+	if c.Radio.Throughput == nil || c.Radio.Power == nil {
+		return fmt.Errorf("cell: radio model not fully specified")
+	}
+	if c.ABR != nil {
+		if err := c.ABR.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.RRC.Validate()
+}
+
+// UserTotals aggregates one user's whole run.
+type UserTotals struct {
+	// DeliveredKB is the total data received.
+	DeliveredKB units.KB
+	// TransEnergy is Σ Eq. (3) over slots with a transfer.
+	TransEnergy units.MJ
+	// TailEnergy is Σ Eq. (4) increments over idle slots.
+	TailEnergy units.MJ
+	// Rebuffer is Σ c_i(n), the total stall time.
+	Rebuffer units.Seconds
+	// CompletionSlot is the slot at which playback finished, or -1.
+	CompletionSlot int
+	// ActiveSlots counts slots in which the user received data.
+	ActiveSlots int
+	// QualitySum accumulates the selected bitrate (KB/s) over the slots
+	// in which the session was playing; with ABR enabled,
+	// QualitySum/QualitySlots is the mean delivered quality.
+	QualitySum   float64
+	QualitySlots int
+	// QualitySwitches counts slot-to-slot changes of the selected rate
+	// while playing (nonzero only for ABR or VBR sessions).
+	QualitySwitches int
+}
+
+// MeanQuality returns the average selected bitrate in KB/s (0 if the
+// session never played).
+func (u UserTotals) MeanQuality() units.KBps {
+	if u.QualitySlots == 0 {
+		return 0
+	}
+	return units.KBps(u.QualitySum / float64(u.QualitySlots))
+}
+
+// Energy returns the user's total energy (transmission + tail).
+func (u UserTotals) Energy() units.MJ { return u.TransEnergy + u.TailEnergy }
+
+// SlotTotals aggregates one slot across users.
+type SlotTotals struct {
+	// Fairness is the Jain index over the per-user satisfaction ratios
+	// F_i = d_i/d_need (users with a need this slot only); NaN-free: 1.0
+	// when no user had any need.
+	Fairness float64
+	// Energy is the total energy (trans+tail) across users this slot.
+	Energy units.MJ
+	// Rebuffer is Σ_i c_i(n).
+	Rebuffer units.Seconds
+	// UsedUnits is Σ_i ϕ_i(n).
+	UsedUnits int
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// SchedulerName echoes the algorithm that produced the run.
+	SchedulerName string
+	// Slots is Γ, the number of simulated slots.
+	Slots int
+	// Users holds per-user totals.
+	Users []UserTotals
+	// PerSlot holds per-slot aggregates (always recorded).
+	PerSlot []SlotTotals
+	// RebufferSamples / EnergySamples / FairnessSamples are the raw
+	// per-user-per-slot series for CDF figures; populated only when
+	// Config.RecordPerUserSlots is set. RebufferSamples[i][n] is c_i(n).
+	RebufferSamples [][]float64
+	EnergySamples   [][]float64
+	// ClampEvents counts scheduler outputs the simulator had to clamp to
+	// satisfy Eq. (1)/(2); always 0 for the built-in schedulers.
+	ClampEvents int
+}
+
+// PE returns the paper's average energy metric PE(Γ) = ΣΣE/(NΓ) in mJ.
+func (r *Result) PE() units.MJ {
+	if len(r.Users) == 0 || r.Slots == 0 {
+		return 0
+	}
+	var sum units.MJ
+	for _, u := range r.Users {
+		sum += u.Energy()
+	}
+	return sum / units.MJ(len(r.Users)*r.Slots)
+}
+
+// PC returns the paper's average rebuffering metric PC(Γ) = ΣΣc/(NΓ) in
+// seconds.
+func (r *Result) PC() units.Seconds {
+	if len(r.Users) == 0 || r.Slots == 0 {
+		return 0
+	}
+	var sum units.Seconds
+	for _, u := range r.Users {
+		sum += u.Rebuffer
+	}
+	return sum / units.Seconds(float64(len(r.Users)*r.Slots))
+}
+
+// TotalEnergy returns the summed energy of all users (mJ).
+func (r *Result) TotalEnergy() units.MJ {
+	var sum units.MJ
+	for _, u := range r.Users {
+		sum += u.Energy()
+	}
+	return sum
+}
+
+// TotalTailEnergy returns the summed tail energy of all users (mJ).
+func (r *Result) TotalTailEnergy() units.MJ {
+	var sum units.MJ
+	for _, u := range r.Users {
+		sum += u.TailEnergy
+	}
+	return sum
+}
+
+// TransEnergyPerActiveSlot returns the mean transmission energy per
+// user-slot that actually carried data, Σ E_trans / Σ active slots (mJ).
+// The experiment harness uses it as the Eq. (12) reference energy
+// E_Default when deriving RTMA's budget Φ = α·E_Default.
+func (r *Result) TransEnergyPerActiveSlot() units.MJ {
+	active := 0
+	var sum units.MJ
+	for _, u := range r.Users {
+		sum += u.TransEnergy
+		active += u.ActiveSlots
+	}
+	if active == 0 {
+		return 0
+	}
+	return sum / units.MJ(active)
+}
+
+// TotalRebuffer returns the summed stall time of all users.
+func (r *Result) TotalRebuffer() units.Seconds {
+	var sum units.Seconds
+	for _, u := range r.Users {
+		sum += u.Rebuffer
+	}
+	return sum
+}
+
+// MeanRebufferPerUser returns TotalRebuffer / N.
+func (r *Result) MeanRebufferPerUser() units.Seconds {
+	if len(r.Users) == 0 {
+		return 0
+	}
+	return r.TotalRebuffer() / units.Seconds(float64(len(r.Users)))
+}
+
+// MeanEnergyPerUser returns TotalEnergy / N in mJ.
+func (r *Result) MeanEnergyPerUser() units.MJ {
+	if len(r.Users) == 0 {
+		return 0
+	}
+	return r.TotalEnergy() / units.MJ(len(r.Users))
+}
+
+// userState is the simulator's mutable per-user record.
+type userState struct {
+	session *workload.Session
+	buf     *playback.Buffer
+	machine *rrc.Machine
+	abrCtl  *abr.Controller // nil unless Config.ABR is set
+	// prevRate is the last playing slot's selected rate, for switch
+	// counting; 0 until the first playing slot.
+	prevRate units.KBps
+}
+
+// Simulator runs one scheduler over one workload.
+type Simulator struct {
+	cfg   Config
+	sched sched.Scheduler
+	users []*userState
+}
+
+// New builds a Simulator. The sessions' buffers and RRC machines are
+// created fresh, so a Simulator must not be reused across runs — build a
+// new one (schedulers with internal state must also be fresh).
+func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("cell: nil scheduler")
+	}
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("cell: no sessions")
+	}
+	sim := &Simulator{cfg: cfg, sched: s, users: make([]*userState, len(sessions))}
+	for i, sess := range sessions {
+		if sess.ID != i {
+			return nil, fmt.Errorf("cell: session %d has ID %d; IDs must be dense", i, sess.ID)
+		}
+		var (
+			buf *playback.Buffer
+			err error
+		)
+		if cfg.ABR != nil {
+			buf, err = playback.NewSeconds(sess.Duration())
+		} else {
+			buf, err = playback.New(sess.Size, sess.Duration())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cell: user %d buffer: %w", i, err)
+		}
+		m, err := rrc.NewMachine(cfg.RRC)
+		if err != nil {
+			return nil, err
+		}
+		u := &userState{session: sess, buf: buf, machine: m}
+		if cfg.ABR != nil {
+			ctl, err := abr.NewController(*cfg.ABR)
+			if err != nil {
+				return nil, err
+			}
+			u.abrCtl = ctl
+		}
+		sim.users[i] = u
+	}
+	return sim, nil
+}
+
+// Run executes the simulation and returns the collected result.
+func (s *Simulator) Run() (*Result, error) {
+	n := len(s.users)
+	res := &Result{
+		SchedulerName: s.sched.Name(),
+		Users:         make([]UserTotals, n),
+		PerSlot:       make([]SlotTotals, 0, 1024),
+	}
+	for i := range res.Users {
+		res.Users[i].CompletionSlot = -1
+	}
+	if s.cfg.RecordPerUserSlots {
+		res.RebufferSamples = make([][]float64, n)
+		res.EnergySamples = make([][]float64, n)
+	}
+
+	capacityUnits := floorUnits(float64(s.cfg.Capacity)*float64(s.cfg.Tau), float64(s.cfg.Unit))
+	slot := sched.Slot{
+		Tau:           s.cfg.Tau,
+		Unit:          s.cfg.Unit,
+		CapacityUnits: capacityUnits,
+		Users:         make([]sched.User, n),
+	}
+	alloc := make([]int, n)
+
+	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
+		slot.N = slotIdx
+		allDone := true
+		for i, u := range s.users {
+			sess := u.session
+			started := slotIdx >= sess.StartSlot
+			active := started && !u.buf.DeliveryComplete()
+			if !started || !u.buf.PlaybackComplete() {
+				allDone = false
+			}
+			sig := sess.Signal.At(slotIdx)
+			link := s.cfg.Radio.Throughput.Throughput(sig)
+			// Required rate and remaining demand: fixed-rate sessions use
+			// the workload's rate and byte remainder; ABR sessions pick
+			// the rate from the player's buffer, and the remainder is the
+			// undelivered content time priced at that rate.
+			rate := sess.RateAt(slotIdx)
+			remainingKB := u.buf.RemainingBytes()
+			if u.abrCtl != nil {
+				if active {
+					rate = u.abrCtl.Pick(u.buf.Occupancy())
+				} else {
+					rate = u.abrCtl.Current()
+				}
+				// The player requests at most its buffer-cap headroom of
+				// content per slot (plus the slot being played), and never
+				// more than the remaining video.
+				wantSec := s.cfg.ABR.WantSeconds(u.buf.Occupancy()) + s.cfg.Tau
+				if rem := u.buf.RemainingSeconds(); wantSec > rem {
+					wantSec = rem
+				}
+				remainingKB = units.KB(float64(wantSec) * float64(rate))
+			}
+			maxUnits := floorUnits(float64(link)*float64(s.cfg.Tau), float64(s.cfg.Unit))
+			remUnits := ceilUnits(float64(remainingKB), float64(s.cfg.Unit))
+			if maxUnits > remUnits {
+				maxUnits = remUnits
+			}
+			if !active {
+				maxUnits = 0
+			}
+			slot.Users[i] = sched.User{
+				Index:       i,
+				Active:      active,
+				Sig:         sig,
+				LinkRate:    link,
+				EnergyPerKB: s.cfg.Radio.Power.EnergyPerKB(sig),
+				Rate:        rate,
+				BufferSec:   u.buf.Occupancy(),
+				RemainingKB: remainingKB,
+				TailGap:     u.machine.Gap(),
+				NeverActive: !u.machine.EverActive(),
+				MaxUnits:    maxUnits,
+			}
+			alloc[i] = 0
+		}
+		if allDone && !s.cfg.RunFullHorizon && slotIdx > 0 {
+			break
+		}
+
+		s.sched.Allocate(&slot, alloc)
+		clamps, err := s.enforce(&slot, alloc)
+		if err != nil {
+			return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
+		}
+		res.ClampEvents += clamps
+
+		st := SlotTotals{}
+		var fairNum, fairDen float64 // Jain index accumulators
+		var fairCount int
+		for i, u := range s.users {
+			view := &slot.Users[i]
+			deliveredKB := units.KB(float64(alloc[i]) * float64(s.cfg.Unit))
+			// Cap the last shard at the true remainder so byte accounting
+			// stays exact even though units are discrete.
+			if deliveredKB > view.RemainingKB {
+				deliveredKB = view.RemainingKB
+			}
+
+			// Energy per Eq. (5): transmission when scheduled, tail when not.
+			var slotEnergy units.MJ
+			if alloc[i] > 0 {
+				slotEnergy = s.cfg.Radio.TransmissionEnergy(view.Sig, deliveredKB)
+				res.Users[i].TransEnergy += slotEnergy
+				res.Users[i].ActiveSlots++
+				u.machine.Transfer()
+			} else {
+				slotEnergy = u.machine.IdleSlot(s.cfg.Tau)
+				res.Users[i].TailEnergy += slotEnergy
+			}
+			res.Users[i].DeliveredKB += deliveredKB
+
+			// Buffer dynamics only for users that have started.
+			var c units.Seconds
+			if slotIdx >= u.session.StartSlot {
+				wasComplete := u.buf.PlaybackComplete()
+				c, err = u.buf.Advance(deliveredKB, view.Rate, s.cfg.Tau)
+				if err != nil {
+					return nil, fmt.Errorf("cell: user %d slot %d: %w", i, slotIdx, err)
+				}
+				if !wasComplete && u.buf.PlaybackComplete() {
+					res.Users[i].CompletionSlot = slotIdx
+				}
+				if !wasComplete {
+					res.Users[i].QualitySum += float64(view.Rate)
+					res.Users[i].QualitySlots++
+					if u.prevRate != 0 && view.Rate != u.prevRate {
+						res.Users[i].QualitySwitches++
+					}
+					u.prevRate = view.Rate
+				}
+			}
+			res.Users[i].Rebuffer += c
+			st.Rebuffer += c
+			st.Energy += slotEnergy
+			st.UsedUnits += alloc[i]
+
+			// Fairness sample F_i = delivered/needed for users with a need.
+			if view.Active {
+				needKB := float64(view.Rate) * float64(s.cfg.Tau)
+				if needKB > float64(view.RemainingKB) {
+					needKB = float64(view.RemainingKB)
+				}
+				if needKB > 0 {
+					f := float64(deliveredKB) / needKB
+					if f > 1 {
+						f = 1
+					}
+					fairNum += f
+					fairDen += f * f
+					fairCount++
+				}
+			}
+
+			if s.cfg.RecordPerUserSlots {
+				res.RebufferSamples[i] = append(res.RebufferSamples[i], float64(c))
+				res.EnergySamples[i] = append(res.EnergySamples[i], float64(slotEnergy))
+			}
+		}
+		st.Fairness = jain(fairNum, fairDen, fairCount)
+		res.PerSlot = append(res.PerSlot, st)
+		res.Slots = slotIdx + 1
+	}
+	return res, nil
+}
+
+// enforce applies Eq. (1)/(2) clamping (or errors in Strict mode) and
+// returns how many entries were clamped.
+func (s *Simulator) enforce(slot *sched.Slot, alloc []int) (int, error) {
+	if s.cfg.Strict {
+		if err := slot.Validate(alloc); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	clamps := 0
+	total := 0
+	for i := range alloc {
+		u := &slot.Users[i]
+		if alloc[i] < 0 {
+			alloc[i] = 0
+			clamps++
+		}
+		if !u.Active && alloc[i] > 0 {
+			alloc[i] = 0
+			clamps++
+		}
+		if alloc[i] > u.MaxUnits {
+			alloc[i] = u.MaxUnits
+			clamps++
+		}
+		total += alloc[i]
+	}
+	if total > slot.CapacityUnits {
+		// Shed overflow from the highest indices (deterministic).
+		over := total - slot.CapacityUnits
+		for i := len(alloc) - 1; i >= 0 && over > 0; i-- {
+			cut := alloc[i]
+			if cut > over {
+				cut = over
+			}
+			alloc[i] -= cut
+			over -= cut
+			if cut > 0 {
+				clamps++
+			}
+		}
+	}
+	return clamps, nil
+}
+
+// jain computes the Jain fairness index (Σx)²/(n·Σx²) with the convention
+// that an empty or all-zero sample is perfectly fair.
+func jain(sum, sumSq float64, n int) float64 {
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+func floorUnits(amount, unit float64) int {
+	if amount <= 0 {
+		return 0
+	}
+	return int(amount / unit)
+}
+
+func ceilUnits(amount, unit float64) int {
+	n := floorUnits(amount, unit)
+	if float64(n)*unit < amount {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,332 @@
+// Package deploy runs the paper's framework across a multi-cell
+// deployment. The gateway "works between the base station and Internet to
+// manage the resources of each BS independently" (§III-A): each cell has
+// its own capacity, scheduler instance and slotted simulation, and the
+// cells run concurrently on the worker pool. The package adds what a
+// deployment needs on top of the single-cell simulator: per-(user, site)
+// signal derivation, user-to-cell attachment policies, and aggregation of
+// per-cell results into fleet-wide metrics.
+//
+// Attachment is decided once per session at admission (the paper's model;
+// mid-session handover is out of scope and surfaced instead as the
+// MisassignedSlots diagnostic — slots in which a user's strongest site
+// differed from its serving site).
+package deploy
+
+import (
+	"context"
+	"fmt"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/pool"
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/signal"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// Site is one base station of the deployment.
+type Site struct {
+	// Name labels the site in results.
+	Name string
+	// Cell is the site's simulator configuration (capacity may differ
+	// per site; radio/RRC models are usually shared).
+	Cell cell.Config
+	// SignalOffset shifts every user's base signal trace toward this
+	// site, modeling the path-loss difference of its location.
+	SignalOffset units.DBm
+	// ShadowStd adds independent per-site log-normal shadowing (dB) on
+	// top of the shared base trace, decorrelating the sites the way
+	// distinct propagation paths do. Zero disables it.
+	ShadowStd float64
+}
+
+// Policy selects how sessions are attached to sites.
+type Policy int
+
+// Attachment policies.
+const (
+	// StrongestSignal attaches each user to the site with the best mean
+	// signal over the assessment window — the standard cell-selection
+	// rule.
+	StrongestSignal Policy = iota
+	// RoundRobin attaches users to sites in order, ignoring radio state.
+	RoundRobin
+	// LeastLoaded attaches each user to the site with the least total
+	// attached demand (sum of required rates) so far, breaking ties by
+	// site order.
+	LeastLoaded
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case StrongestSignal:
+		return "strongest-signal"
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a deployment run.
+type Config struct {
+	Sites  []Site
+	Policy Policy
+	// AssessSlots is the signal-averaging window used by StrongestSignal
+	// (default 10).
+	AssessSlots int
+	// Workers bounds the number of concurrently simulated cells
+	// (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Sites) == 0 {
+		return fmt.Errorf("deploy: no sites")
+	}
+	for i, s := range c.Sites {
+		if err := s.Cell.Validate(); err != nil {
+			return fmt.Errorf("deploy: site %d (%s): %w", i, s.Name, err)
+		}
+	}
+	switch c.Policy {
+	case StrongestSignal, RoundRobin, LeastLoaded:
+	default:
+		return fmt.Errorf("deploy: unknown policy %d", int(c.Policy))
+	}
+	if c.AssessSlots < 0 {
+		return fmt.Errorf("deploy: negative assessment window %d", c.AssessSlots)
+	}
+	return nil
+}
+
+// Placement records where one session was attached.
+type Placement struct {
+	User int
+	Site int
+}
+
+// Result aggregates a deployment run.
+type Result struct {
+	// PerSite holds each cell's simulation result; entries are nil for
+	// sites that received no users.
+	PerSite []*cell.Result
+	// Placements maps each input session to its serving site.
+	Placements []Placement
+	// MisassignedSlots counts (user, slot) pairs in which a different
+	// site's signal was ≥ HandoverMarginDB stronger than the serving
+	// site's — an upper bound on the handovers a mobility-aware
+	// deployment would perform.
+	MisassignedSlots int
+	// TotalSlots is Σ per-user simulated slots, the denominator for
+	// MisassignedSlots.
+	TotalSlots int
+}
+
+// HandoverMarginDB is the hysteresis margin used for the misassignment
+// diagnostic, matching typical A3-event offsets.
+const HandoverMarginDB = 3
+
+// TotalEnergy sums energy across sites (mJ).
+func (r *Result) TotalEnergy() units.MJ {
+	var sum units.MJ
+	for _, res := range r.PerSite {
+		if res != nil {
+			sum += res.TotalEnergy()
+		}
+	}
+	return sum
+}
+
+// TotalRebuffer sums stall time across sites.
+func (r *Result) TotalRebuffer() units.Seconds {
+	var sum units.Seconds
+	for _, res := range r.PerSite {
+		if res != nil {
+			sum += res.TotalRebuffer()
+		}
+	}
+	return sum
+}
+
+// Users counts sessions across sites.
+func (r *Result) Users() int { return len(r.Placements) }
+
+// offsetTrace shifts a base trace by a fixed dBm offset plus optional
+// independent per-slot shadowing, clamped to the physical bounds. The
+// shadowing is a pure function of (seed, slot), so the trace stays
+// repeatable in any query order.
+type offsetTrace struct {
+	base      signal.Trace
+	offset    units.DBm
+	shadowStd float64
+	seed      uint64
+	bounds    signal.Bounds
+}
+
+func (t offsetTrace) At(n int) units.DBm {
+	v := float64(t.base.At(n) + t.offset)
+	if t.shadowStd > 0 {
+		// Derive a deterministic standard normal for this (seed, slot).
+		v += t.shadowStd * rng.New(t.seed^(uint64(n)*0x9E3779B97F4A7C15)).Norm()
+	}
+	if v < float64(t.bounds.Min) {
+		return t.bounds.Min
+	}
+	if v > float64(t.bounds.Max) {
+		return t.bounds.Max
+	}
+	return units.DBm(v)
+}
+
+// SiteTrace returns the session's signal trace toward the given site.
+// siteIdx decorrelates the per-site shadowing across sites and users.
+func SiteTrace(s *workload.Session, site Site, siteIdx int) signal.Trace {
+	return offsetTrace{
+		base:      s.Signal,
+		offset:    site.SignalOffset,
+		shadowStd: site.ShadowStd,
+		seed:      uint64(s.ID+1)*0xD1B54A32D192ED03 + uint64(siteIdx+1)*0x2545F4914F6CDD1D,
+		bounds:    signal.DefaultBounds,
+	}
+}
+
+// Run attaches the sessions to sites under the configured policy and
+// simulates every cell concurrently. newSched must return a fresh
+// scheduler per call (one per site).
+func Run(ctx context.Context, cfg Config, sessions []*workload.Session, newSched func() (sched.Scheduler, error)) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("deploy: no sessions")
+	}
+	if newSched == nil {
+		return nil, fmt.Errorf("deploy: nil scheduler factory")
+	}
+	assess := cfg.AssessSlots
+	if assess == 0 {
+		assess = 10
+	}
+
+	placements := assign(cfg, sessions, assess)
+
+	// Group sessions per site, cloning with dense IDs and site-shifted
+	// signal traces.
+	perSite := make([][]*workload.Session, len(cfg.Sites))
+	backRef := make([][]int, len(cfg.Sites)) // site-local index -> global user
+	for _, pl := range placements {
+		s := sessions[pl.User]
+		clone := *s
+		clone.ID = len(perSite[pl.Site])
+		clone.Signal = SiteTrace(s, cfg.Sites[pl.Site], pl.Site)
+		perSite[pl.Site] = append(perSite[pl.Site], &clone)
+		backRef[pl.Site] = append(backRef[pl.Site], pl.User)
+	}
+
+	type job struct {
+		site int
+	}
+	jobs := make([]job, 0, len(cfg.Sites))
+	for i := range cfg.Sites {
+		jobs = append(jobs, job{site: i})
+	}
+	results, err := pool.Map(ctx, cfg.Workers, jobs, func(ctx context.Context, j job) (*cell.Result, error) {
+		if len(perSite[j.site]) == 0 {
+			return nil, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := newSched()
+		if err != nil {
+			return nil, err
+		}
+		sim, err := cell.New(cfg.Sites[j.site].Cell, perSite[j.site], s)
+		if err != nil {
+			return nil, fmt.Errorf("site %d (%s): %w", j.site, cfg.Sites[j.site].Name, err)
+		}
+		return sim.Run()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{PerSite: results, Placements: placements}
+	res.MisassignedSlots, res.TotalSlots = misassignment(cfg, sessions, placements, results, backRef)
+	return res, nil
+}
+
+// assign applies the attachment policy.
+func assign(cfg Config, sessions []*workload.Session, assess int) []Placement {
+	placements := make([]Placement, len(sessions))
+	demand := make([]units.KBps, len(cfg.Sites))
+	for ui, s := range sessions {
+		site := 0
+		switch cfg.Policy {
+		case RoundRobin:
+			site = ui % len(cfg.Sites)
+		case LeastLoaded:
+			for si := 1; si < len(cfg.Sites); si++ {
+				if demand[si] < demand[site] {
+					site = si
+				}
+			}
+		case StrongestSignal:
+			best := meanSignal(SiteTrace(s, cfg.Sites[0], 0), s.StartSlot, assess)
+			for si := 1; si < len(cfg.Sites); si++ {
+				m := meanSignal(SiteTrace(s, cfg.Sites[si], si), s.StartSlot, assess)
+				if m > best {
+					best, site = m, si
+				}
+			}
+		}
+		demand[site] += s.BaseRate
+		placements[ui] = Placement{User: ui, Site: site}
+	}
+	return placements
+}
+
+func meanSignal(tr signal.Trace, start, window int) float64 {
+	var sum float64
+	for n := start; n < start+window; n++ {
+		sum += float64(tr.At(n))
+	}
+	return sum / float64(window)
+}
+
+// misassignment counts slots where some other site beat the serving site
+// by the handover margin.
+func misassignment(cfg Config, sessions []*workload.Session, placements []Placement, results []*cell.Result, backRef [][]int) (int, int) {
+	mis, total := 0, 0
+	for si, res := range results {
+		if res == nil {
+			continue
+		}
+		for localIdx, globalID := range backRef[si] {
+			s := sessions[globalID]
+			_ = localIdx
+			serving := SiteTrace(s, cfg.Sites[si], si)
+			for n := s.StartSlot; n < res.Slots; n++ {
+				total++
+				sv := float64(serving.At(n))
+				for oi := range cfg.Sites {
+					if oi == si {
+						continue
+					}
+					if float64(SiteTrace(s, cfg.Sites[oi], oi).At(n)) >= sv+HandoverMarginDB {
+						mis++
+						break
+					}
+				}
+			}
+		}
+	}
+	return mis, total
+}

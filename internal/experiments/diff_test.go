@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffFigs() []*Figure {
+	return []*Figure{
+		{
+			ID: "Fig. A",
+			Series: []Series{
+				{Label: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+				{Label: "s2", X: []float64{1, 2}, Y: []float64{5, 6}},
+			},
+		},
+		{
+			ID:     "Fig. B",
+			Series: []Series{{Label: "only", X: []float64{0}, Y: []float64{0}}},
+		},
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	diffs, err := Diff(diffFigs(), diffFigs(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("identical sets differ: %v", diffs)
+	}
+}
+
+func TestDiffWithinTolerance(t *testing.T) {
+	a := diffFigs()
+	b := diffFigs()
+	b[0].Series[0].Y[0] = 10.05 // 0.5% off
+	diffs, err := Diff(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("0.5%% drift flagged at 1%% tolerance: %v", diffs)
+	}
+}
+
+func TestDiffBeyondTolerance(t *testing.T) {
+	a := diffFigs()
+	b := diffFigs()
+	b[0].Series[0].Y[1] = 25 // 25% off
+	diffs, err := Diff(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 {
+		t.Fatalf("got %d diffs, want 1: %v", len(diffs), diffs)
+	}
+	if !strings.Contains(diffs[0], "Fig. A/s1[1]") {
+		t.Errorf("diff message %q missing location", diffs[0])
+	}
+}
+
+func TestDiffMissingFigure(t *testing.T) {
+	a := diffFigs()[:1]
+	b := diffFigs()
+	diffs, err := Diff(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diffs {
+		if strings.Contains(d, "Fig. B") && strings.Contains(d, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing-figure diff not reported: %v", diffs)
+	}
+	// Reverse direction: extra figure in the new run.
+	diffs, err = Diff(b, a, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, d := range diffs {
+		if strings.Contains(d, "Fig. B") && strings.Contains(d, "not in baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("extra-figure diff not reported: %v", diffs)
+	}
+}
+
+func TestDiffSeriesMismatch(t *testing.T) {
+	a := diffFigs()
+	a[0].Series = a[0].Series[:1]
+	diffs, err := Diff(a, diffFigs(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 || !strings.Contains(diffs[0], "s2") {
+		t.Errorf("missing-series diff not reported: %v", diffs)
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	a := diffFigs()
+	a[0].Series[0].X = a[0].Series[0].X[:1]
+	a[0].Series[0].Y = a[0].Series[0].Y[:1]
+	diffs, err := Diff(a, diffFigs(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 || !strings.Contains(diffs[0], "points") {
+		t.Errorf("length-mismatch diff not reported: %v", diffs)
+	}
+}
+
+func TestDiffValidation(t *testing.T) {
+	if _, err := Diff(diffFigs(), diffFigs(), -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := Diff([]*Figure{nil}, diffFigs(), 0.01); err == nil {
+		t.Error("nil figure accepted")
+	}
+	dup := append(diffFigs(), diffFigs()[0])
+	if _, err := Diff(dup, diffFigs(), 0.01); err == nil {
+		t.Error("duplicate figure ID accepted")
+	}
+}
+
+func TestDiffNearZeroValues(t *testing.T) {
+	a := []*Figure{{ID: "z", Series: []Series{{Label: "s", X: []float64{0}, Y: []float64{0}}}}}
+	b := []*Figure{{ID: "z", Series: []Series{{Label: "s", X: []float64{0}, Y: []float64{1e-12}}}}}
+	diffs, err := Diff(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("sub-epsilon difference flagged: %v", diffs)
+	}
+}

@@ -1,0 +1,450 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§VI, Figs. 2–10). Each FigXX function runs the required simulations and
+// returns a Figure: labeled series of (x, y) points that correspond to the
+// paper's plotted curves, plus notes recording how derived parameters
+// (RTMA's Φ, EMA's V) were obtained.
+//
+// The harness follows the paper's experimental protocol:
+//
+//   - The Default greedy strategy is run first; its measured energy and
+//     rebuffering provide the reference values E_Default and R_Default.
+//   - RTMA's budget is Φ = α·E_Default (E_Default measured as transmission
+//     energy per radio-active user-slot, the Eq. 12 scale — see DESIGN.md).
+//   - EMA's rebuffering bound is Ω = β·R_Default; the Lyapunov weight V is
+//     calibrated by bisection so the measured PC meets Ω, since the paper
+//     does not publish its Ω→V mapping.
+//
+// All runs are deterministic in Options.Seed. Results are memoized within
+// a Runner so figures sharing a scenario (e.g. Figs. 2 and 3) reuse runs.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/metrics"
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// Options selects the workload scale of the experiment suite.
+type Options struct {
+	// Seed drives all workload generation.
+	Seed uint64
+	// Cell is the base simulator configuration.
+	Cell cell.Config
+	// UserCounts is the x-axis of the user-number sweeps (Figs. 4a, 5, 8a,
+	// 9, 10).
+	UserCounts []int
+	// AvgSizesMB is the x-axis of the data-amount sweeps (Figs. 4b, 8b).
+	AvgSizesMB []float64
+	// CDFUsers and CDFAvgSizeMB configure the CDF figures (2, 3, 6, 7).
+	CDFUsers     int
+	CDFAvgSizeMB float64
+	// Alphas and Betas are the constraint sweeps of Figs. 4 and 8.
+	Alphas, Betas []float64
+	// VCalibration bounds the bisection for EMA's Lyapunov weight.
+	VMin, VMax float64
+	// CalibrationSteps is the bisection depth for V (each step is one
+	// simulation run).
+	CalibrationSteps int
+	// SignalPeriodSlots overrides the channel fade period (0 keeps the
+	// workload default). Quick suites with short sessions scale it down
+	// so every session still spans several fade cycles.
+	SignalPeriodSlots int
+	// RateJitterFrac makes sessions variable-bit-rate (extension
+	// scenarios; the paper's evaluation is constant-rate).
+	RateJitterFrac float64
+	// MeanInterarrival staggers user arrivals with exponential gaps
+	// (extension scenarios; the paper starts everyone at slot 0).
+	MeanInterarrival units.Seconds
+}
+
+// PaperOptions returns the full §VI experiment scale: users 20–40, videos
+// averaging 150–550 MB, CDFs at N=40 with 350 MB averages.
+func PaperOptions() Options {
+	return Options{
+		Seed:             42,
+		Cell:             cell.PaperConfig(),
+		UserCounts:       []int{20, 25, 30, 35, 40},
+		AvgSizesMB:       []float64{150, 250, 350, 450, 550},
+		CDFUsers:         40,
+		CDFAvgSizeMB:     350,
+		Alphas:           []float64{0.8, 1.0, 1.2},
+		Betas:            []float64{0.8, 1.0, 1.2},
+		VMin:             0.005,
+		VMax:             16,
+		CalibrationSteps: 9,
+	}
+}
+
+// QuickOptions returns a miniature suite (small videos, few users) that
+// exercises every figure path in seconds; used by tests and CI.
+func QuickOptions() Options {
+	cfg := cell.PaperConfig()
+	// 3.8 MB/s against ~3.6 MB/s of demand at 8 users: tight enough that
+	// fairness differences between schedulers are visible without overload.
+	cfg.Capacity = 3800
+	cfg.MaxSlots = 2000
+	return Options{
+		Seed:              42,
+		Cell:              cfg,
+		UserCounts:        []int{4, 8},
+		AvgSizesMB:        []float64{10, 20},
+		CDFUsers:          8,
+		CDFAvgSizeMB:      15,
+		Alphas:            []float64{0.8, 1.0, 1.2},
+		Betas:             []float64{0.8, 1.0, 1.2},
+		VMin:              0.005,
+		VMax:              16,
+		CalibrationSteps:  6,
+		SignalPeriodSlots: 24,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if err := o.Cell.Validate(); err != nil {
+		return err
+	}
+	if len(o.UserCounts) == 0 || len(o.AvgSizesMB) == 0 {
+		return fmt.Errorf("experiments: empty sweep axes")
+	}
+	for _, n := range o.UserCounts {
+		if n <= 0 {
+			return fmt.Errorf("experiments: non-positive user count %d", n)
+		}
+	}
+	for _, mb := range o.AvgSizesMB {
+		if mb <= 0 {
+			return fmt.Errorf("experiments: non-positive average size %v", mb)
+		}
+	}
+	if o.CDFUsers <= 0 || o.CDFAvgSizeMB <= 0 {
+		return fmt.Errorf("experiments: invalid CDF scenario (%d users, %v MB)", o.CDFUsers, o.CDFAvgSizeMB)
+	}
+	if len(o.Alphas) == 0 || len(o.Betas) == 0 {
+		return fmt.Errorf("experiments: empty alpha/beta sweeps")
+	}
+	if o.VMin <= 0 || o.VMax <= o.VMin {
+		return fmt.Errorf("experiments: invalid V range [%v, %v]", o.VMin, o.VMax)
+	}
+	if o.CalibrationSteps < 1 {
+		return fmt.Errorf("experiments: need at least one calibration step")
+	}
+	return nil
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figure is the regenerated content of one paper figure.
+type Figure struct {
+	ID     string // "Fig. 2", "Fig. 4a", ...
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Runner executes figures, memoizing simulation results by scenario so
+// shared Default reference runs are computed once. Runner is safe for
+// concurrent use: simultaneous requests for the same run coalesce onto a
+// single simulation (singleflight), so AllParallel never duplicates work.
+type Runner struct {
+	opts Options
+
+	mu       sync.Mutex
+	cache    map[string]*cell.Result
+	inflight map[string]chan struct{}
+}
+
+// NewRunner validates the options and returns a Runner.
+func NewRunner(opts Options) (*Runner, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		opts:     opts,
+		cache:    make(map[string]*cell.Result),
+		inflight: make(map[string]chan struct{}),
+	}, nil
+}
+
+// cacheSize reports the number of memoized runs (tests).
+func (r *Runner) cacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+// scenario identifies one workload setting.
+type scenario struct {
+	users     int
+	avgSizeMB float64
+	recordCDF bool
+}
+
+func (s scenario) workload(o Options) workload.Config {
+	cfg := workload.PaperDefaults(s.users).WithAvgSize(units.KB(s.avgSizeMB * 1000))
+	if o.SignalPeriodSlots > 0 {
+		cfg.Signal.PeriodSlots = o.SignalPeriodSlots
+	}
+	cfg.RateJitterFrac = o.RateJitterFrac
+	cfg.MeanInterarrival = o.MeanInterarrival
+	return cfg
+}
+
+// schedBuilder constructs a fresh scheduler for a run. Schedulers carry
+// per-run state, so every simulation gets a new instance.
+type schedBuilder struct {
+	key   string // cache key component
+	build func() (sched.Scheduler, error)
+}
+
+// run executes (or recalls) one simulation. Concurrent callers asking
+// for the same key block until the first caller's simulation finishes.
+func (r *Runner) run(sc scenario, sb schedBuilder) (*cell.Result, error) {
+	key := fmt.Sprintf("%s|n=%d|mb=%g|cdf=%v", sb.key, sc.users, sc.avgSizeMB, sc.recordCDF)
+	for {
+		r.mu.Lock()
+		if res, ok := r.cache[key]; ok {
+			r.mu.Unlock()
+			return res, nil
+		}
+		if wait, ok := r.inflight[key]; ok {
+			r.mu.Unlock()
+			<-wait
+			continue // re-check: the leader stored a result or failed
+		}
+		done := make(chan struct{})
+		r.inflight[key] = done
+		r.mu.Unlock()
+
+		res, err := r.simulate(sc, sb)
+
+		r.mu.Lock()
+		delete(r.inflight, key)
+		if err == nil {
+			r.cache[key] = res
+		}
+		r.mu.Unlock()
+		close(done)
+		return res, err
+	}
+}
+
+// simulate performs the actual run (no caching).
+func (r *Runner) simulate(sc scenario, sb schedBuilder) (*cell.Result, error) {
+	cfg := r.opts.Cell
+	cfg.RecordPerUserSlots = sc.recordCDF
+	wl, err := workload.Generate(sc.workload(r.opts), rng.New(r.opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	s, err := sb.build()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cell.New(cfg, wl, s)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+func (r *Runner) defaultRun(sc scenario) (*cell.Result, error) {
+	return r.run(sc, schedBuilder{key: "default", build: func() (sched.Scheduler, error) {
+		return sched.NewDefault(), nil
+	}})
+}
+
+// rtmaBuilder derives Φ = alpha·E_Default from the scenario's Default run.
+func (r *Runner) rtmaRun(sc scenario, alpha float64) (*cell.Result, *sched.RTMA, error) {
+	def, err := r.defaultRun(scenario{users: sc.users, avgSizeMB: sc.avgSizeMB})
+	if err != nil {
+		return nil, nil, err
+	}
+	eRef := def.TransEnergyPerActiveSlot()
+	budget, err := sched.BudgetForAlpha(eRef, alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	var built *sched.RTMA
+	res, err := r.run(sc, schedBuilder{
+		key: fmt.Sprintf("rtma(a=%g)", alpha),
+		build: func() (sched.Scheduler, error) {
+			rt, err := sched.NewRTMA(sched.RTMAConfig{
+				Budget: budget, Radio: r.opts.Cell.Radio, RRC: r.opts.Cell.RRC,
+			})
+			built = rt
+			return rt, err
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if built == nil {
+		// Cached run: rebuild the scheduler just to expose its threshold.
+		built, err = sched.NewRTMA(sched.RTMAConfig{
+			Budget: budget, Radio: r.opts.Cell.Radio, RRC: r.opts.Cell.RRC,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return res, built, nil
+}
+
+func (r *Runner) emaRunWithV(sc scenario, v float64) (*cell.Result, error) {
+	return r.run(sc, schedBuilder{
+		key: fmt.Sprintf("ema(v=%.6g)", v),
+		build: func() (sched.Scheduler, error) {
+			return sched.NewEMA(sched.EMAConfig{V: v, RRC: r.opts.Cell.RRC})
+		},
+	})
+}
+
+// calibrateV finds the largest V in [VMin, VMax] whose measured average
+// rebuffering PC stays within omega, by bisection on log V. PC(V) is
+// monotonically non-decreasing in V (more energy bias defers more data),
+// which the Theorem-1 bound PC ≤ (B + V·E*)/ε also reflects.
+func (r *Runner) calibrateV(sc scenario, omega units.Seconds) (float64, error) {
+	lo, hi := r.opts.VMin, r.opts.VMax
+	pcAt := func(v float64) (units.Seconds, error) {
+		res, err := r.emaRunWithV(sc, v)
+		if err != nil {
+			return 0, err
+		}
+		return res.PC(), nil
+	}
+	pcLo, err := pcAt(lo)
+	if err != nil {
+		return 0, err
+	}
+	if pcLo > omega {
+		// Even the most rebuffering-averse setting misses the bound; use
+		// the minimum V (the paper's EMA has no lower mechanism either).
+		return lo, nil
+	}
+	pcHi, err := pcAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	if pcHi <= omega {
+		return hi, nil
+	}
+	for i := 0; i < r.opts.CalibrationSteps; i++ {
+		mid := math.Sqrt(lo * hi) // geometric midpoint
+		pc, err := pcAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if pc <= omega {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// emaRun calibrates V for Ω = beta·R_Default and runs EMA.
+func (r *Runner) emaRun(sc scenario, beta float64) (*cell.Result, float64, error) {
+	def, err := r.defaultRun(scenario{users: sc.users, avgSizeMB: sc.avgSizeMB})
+	if err != nil {
+		return nil, 0, err
+	}
+	omega := units.Seconds(float64(def.PC()) * beta)
+	v, err := r.calibrateV(scenario{users: sc.users, avgSizeMB: sc.avgSizeMB}, omega)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Calibration runs use recordCDF=false scenarios; this final run keys
+	// on sc itself, so a CDF-recording variant re-simulates with samples.
+	res, err := r.emaRunWithV(sc, v)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, v, nil
+}
+
+// Baseline builders shared by comparison figures. Watermarks follow common
+// player configurations (see internal/sched).
+func defaultBuilder() schedBuilder {
+	return schedBuilder{key: "default", build: func() (sched.Scheduler, error) {
+		return sched.NewDefault(), nil
+	}}
+}
+
+func throttlingBuilder() schedBuilder {
+	return schedBuilder{key: "throttling", build: func() (sched.Scheduler, error) {
+		return sched.NewThrottling(1.25)
+	}}
+}
+
+func onOffBuilder() schedBuilder {
+	return schedBuilder{key: "onoff", build: func() (sched.Scheduler, error) {
+		return sched.NewOnOff(10, 40)
+	}}
+}
+
+func salsaBuilder() schedBuilder {
+	return schedBuilder{key: "salsa", build: func() (sched.Scheduler, error) {
+		return sched.NewSALSA(15, 0.3)
+	}}
+}
+
+func eStreamerBuilder() schedBuilder {
+	return schedBuilder{key: "estreamer", build: func() (sched.Scheduler, error) {
+		return sched.NewEStreamer(30, 5)
+	}}
+}
+
+// cdfSeries converts a sample into CDF curve points.
+func cdfSeries(label string, sample []float64, points int) (Series, error) {
+	c, err := metrics.NewCDF(sample)
+	if err != nil {
+		return Series{}, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	pts, err := c.Points(points)
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{Label: label, X: make([]float64, len(pts)), Y: make([]float64, len(pts))}
+	for i, p := range pts {
+		s.X[i] = p.X
+		s.Y[i] = p.P
+	}
+	return s, nil
+}
+
+// fairnessSamples extracts the per-slot Jain fairness series of a run.
+func fairnessSamples(res *cell.Result) []float64 {
+	out := make([]float64, len(res.PerSlot))
+	for i, st := range res.PerSlot {
+		out[i] = st.Fairness
+	}
+	return out
+}
+
+// perSlotTotalEnergyJ returns the per-slot total energy across users in
+// joules (Fig. 7's sample).
+func perSlotTotalEnergyJ(res *cell.Result) []float64 {
+	out := make([]float64, len(res.PerSlot))
+	for i, st := range res.PerSlot {
+		out[i] = float64(st.Energy) / 1000
+	}
+	return out
+}

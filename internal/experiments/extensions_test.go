@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExtLTE(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.ExtLTE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 4) // (3G, LTE) x (rebuffer, energy)
+	// The paper's §VI claim is "similar results in LTE networks": the
+	// algorithms keep their qualitative advantage. Check RTMA still cuts
+	// rebuffering versus Default under the LTE models (series Y order is
+	// [Default, RTMA, EMA]).
+	for _, s := range fig.Series {
+		if s.Label == "LTE rebuffer" {
+			if s.Y[1] >= s.Y[0] {
+				t.Errorf("LTE: RTMA rebuffering %v not below Default %v", s.Y[1], s.Y[0])
+			}
+		}
+	}
+}
+
+func TestExtVBR(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.ExtVBR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+	if fig.ID != "Ext. VBR" {
+		t.Errorf("ID = %q", fig.ID)
+	}
+}
+
+func TestExtArrivals(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.ExtArrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+}
+
+func TestExtFastDormancy(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.ExtFastDormancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+	normal, fd := fig.Series[0], fig.Series[1]
+	// Fast dormancy must never increase any scheduler's energy, and must
+	// strictly help at least one of the gap-prone schedulers (ON-OFF or
+	// EStreamer, indices 1 and 2).
+	helped := false
+	for i := range normal.Y {
+		if fd.Y[i] > normal.Y[i]*1.0001 {
+			t.Errorf("fast dormancy increased energy for algorithm %d: %v > %v", i, fd.Y[i], normal.Y[i])
+		}
+		if (i == 1 || i == 2) && fd.Y[i] < normal.Y[i]*0.999 {
+			helped = true
+		}
+	}
+	if !helped {
+		t.Error("fast dormancy helped neither ON-OFF nor EStreamer")
+	}
+}
+
+func TestExtOracleGap(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.ExtOracleGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+	lower, ema, upper := fig.Series[0], fig.Series[1], fig.Series[2]
+	for i := range lower.Y {
+		if lower.Y[i] > upper.Y[i]+1e-9 {
+			t.Errorf("point %d: oracle lower %v above upper %v", i, lower.Y[i], upper.Y[i])
+		}
+		// EMA is an online policy: it cannot beat the offline lower bound.
+		if ema.Y[i] < lower.Y[i]-1e-9 {
+			t.Errorf("point %d: EMA %v below the oracle lower bound %v", i, ema.Y[i], lower.Y[i])
+		}
+	}
+}
+
+func TestExtMultiSeed(t *testing.T) {
+	r := quickRunner(t)
+	stats, err := r.ExtMultiSeed(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("got %d rows", len(stats))
+	}
+	labels := map[string]bool{}
+	for _, st := range stats {
+		labels[st.Label] = true
+		if st.Seeds != 3 {
+			t.Errorf("%s: seeds = %d", st.Label, st.Seeds)
+		}
+		if st.RebufferMean < 0 || st.EnergyMean <= 0 {
+			t.Errorf("%s: implausible means %+v", st.Label, st)
+		}
+		if st.RebufferStd < 0 || st.EnergyStd < 0 {
+			t.Errorf("%s: negative std %+v", st.Label, st)
+		}
+	}
+	for _, want := range []string{"Default", "RTMA", "EMA"} {
+		if !labels[want] {
+			t.Errorf("missing %s row", want)
+		}
+	}
+}
+
+func TestExtMultiSeedValidation(t *testing.T) {
+	r := quickRunner(t)
+	if _, err := r.ExtMultiSeed(1); err == nil {
+		t.Error("single seed accepted")
+	}
+}
+
+func TestExtABR(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.ExtABR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not checkFigure: the QoE series may legitimately go negative under
+	// heavy stalling, which checkFigure treats as malformed.
+	if len(fig.Series) != 4 {
+		t.Fatalf("got %d series, want 4", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 3 || len(s.Y) != 3 {
+			t.Fatalf("%s: bad series lengths", s.Label)
+		}
+	}
+	quality := fig.Series[2]
+	for i, q := range quality.Y {
+		if q < 150 || q > 750 {
+			t.Errorf("algorithm %d mean quality %v outside the ladder", i, q)
+		}
+	}
+}
+
+func TestExtAdaptive(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.ExtAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 4)
+	// Both variants must save energy versus the Default reference at the
+	// largest quick-scale N.
+	def, err := r.defaultRun(scenario{users: r.opts.UserCounts[len(r.opts.UserCounts)-1], avgSizeMB: r.opts.CDFAvgSizeMB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defEn := float64(def.MeanEnergyPerUser()) / 1000
+	for _, s := range fig.Series {
+		if s.Label == "EMA energy (J)" || s.Label == "AdaptiveEMA energy (J)" {
+			last := s.Y[len(s.Y)-1]
+			if last >= defEn {
+				t.Errorf("%s = %v not below Default %v", s.Label, last, defEn)
+			}
+		}
+	}
+}

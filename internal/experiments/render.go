@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes a figure as an aligned ASCII table: one row per x value,
+// one column per series. Series whose X axes differ (e.g. CDF curves) are
+// rendered as side-by-side (x, y) column pairs instead.
+func Render(w io.Writer, fig *Figure) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	for _, note := range fig.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	if len(fig.Series) == 0 {
+		_, err := fmt.Fprintln(w, "  (no series)")
+		return err
+	}
+	if sharedAxis(fig.Series) {
+		return renderShared(w, fig)
+	}
+	return renderPairs(w, fig)
+}
+
+// sharedAxis reports whether every series has the same X points.
+func sharedAxis(series []Series) bool {
+	first := series[0].X
+	for _, s := range series[1:] {
+		if len(s.X) != len(first) {
+			return false
+		}
+		for i := range s.X {
+			if s.X[i] != first[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func renderShared(w io.Writer, fig *Figure) error {
+	headers := make([]string, 0, len(fig.Series)+1)
+	headers = append(headers, fig.XLabel)
+	for _, s := range fig.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := make([][]string, len(fig.Series[0].X))
+	for i := range rows {
+		row := make([]string, 0, len(headers))
+		row = append(row, formatNum(fig.Series[0].X[i]))
+		for _, s := range fig.Series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		rows[i] = row
+	}
+	return writeTable(w, headers, rows)
+}
+
+func renderPairs(w io.Writer, fig *Figure) error {
+	headers := make([]string, 0, 2*len(fig.Series))
+	maxLen := 0
+	for _, s := range fig.Series {
+		headers = append(headers, s.Label+" "+fig.XLabel, s.Label+" "+fig.YLabel)
+		if len(s.X) > maxLen {
+			maxLen = len(s.X)
+		}
+	}
+	rows := make([][]string, maxLen)
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(headers))
+		for _, s := range fig.Series {
+			if i < len(s.X) {
+				row = append(row, formatNum(s.X[i]), formatNum(s.Y[i]))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		rows[i] = row
+	}
+	return writeTable(w, headers, rows)
+}
+
+// writeTable prints an aligned table with a header separator.
+func writeTable(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		return "  " + strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatNum renders a float compactly: integers without decimals, small
+// magnitudes with enough precision to be useful.
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1 || v <= -1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// RenderClaims writes the claims table.
+func RenderClaims(w io.Writer, claims []Claim) error {
+	headers := []string{"claim", "paper", "measured", "met", "context"}
+	rows := make([][]string, len(claims))
+	for i, c := range claims {
+		met := "no"
+		if c.Met {
+			met = "yes"
+		}
+		rows[i] = []string{
+			c.ID,
+			fmt.Sprintf(">=%.0f%%", c.PaperThreshold*100),
+			fmt.Sprintf("%.1f%%", c.Measured*100),
+			met,
+			c.Context,
+		}
+	}
+	return writeTable(w, headers, rows)
+}

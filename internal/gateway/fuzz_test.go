@@ -1,0 +1,34 @@
+package gateway
+
+import (
+	"testing"
+)
+
+// FuzzParseHello checks the handshake parser never panics and that
+// accepted handshakes carry positive parameters.
+func FuzzParseHello(f *testing.F) {
+	seeds := []string{
+		"HELLO 2000 400\n",
+		"HELLO 0 0\n",
+		"HELLO -1 400\n",
+		"HELLO 1e9 1e9\n",
+		"GARBAGE\n",
+		"HELLO\n",
+		"HELLO 1 2 3\n",
+		"hello 2000 400\n",
+		"HELLO NaN 400\n",
+		"HELLO Inf 400\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		h, err := parseHello(line)
+		if err != nil {
+			return
+		}
+		if h.VideoKB <= 0 || h.Rate <= 0 {
+			t.Fatalf("parseHello(%q) accepted non-positive params: %+v", line, h)
+		}
+	})
+}

@@ -1,0 +1,392 @@
+// Package gateway implements the paper's Fig. 1 framework as a running
+// pipeline: the four components — Data Receiver, Information Collector,
+// Scheduler and Data Transmitter — wired around any sched.Scheduler.
+//
+// The gateway sits between origin content sources and per-user downlinks.
+// Each slot it (1) ingests content from the sources into per-user queues
+// (Data Receiver, with a video/non-video classifier standing in for the
+// resource-slicing of CellSlice [26]), (2) snapshots every user's
+// cross-layer report — RSSI and required bit-rate — (Information
+// Collector, standing in for RRC signaling plus DPI middleboxes [2]),
+// (3) runs the configured allocation algorithm (Scheduler), and
+// (4) pushes the granted data units onto the user links (Data
+// Transmitter).
+//
+// The pipeline is transport-agnostic: users are attached through the
+// Endpoint interface. The package provides an in-memory LocalEndpoint for
+// tests and examples; cmd/jstream-gateway wraps TCP connections in the
+// same interface for a live demo.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"jointstream/internal/radio"
+	"jointstream/internal/rrc"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+)
+
+// Report is one user's cross-layer state sampled by the Information
+// Collector at a slot boundary.
+type Report struct {
+	// Sig is the device-reported RSSI.
+	Sig units.DBm
+	// Rate is the required video data rate extracted from the session
+	// (the paper obtains it from DPI middleboxes).
+	Rate units.KBps
+}
+
+// Endpoint is one attached user device.
+type Endpoint interface {
+	// Report returns the user's current cross-layer report. ok=false
+	// marks a disconnected user; the gateway stops scheduling it.
+	Report() (r Report, ok bool)
+	// Deliver pushes one slot's granted bytes to the device. A delivery
+	// error detaches the user.
+	Deliver(p []byte) error
+}
+
+// Source supplies downlink content for one user, emulating the stream
+// from the origin server. Read semantics follow io.Reader; io.EOF marks
+// the end of the video.
+type Source interface {
+	Read(p []byte) (int, error)
+}
+
+// Class labels a flow for the Data Receiver's resource slicing.
+type Class int
+
+// Flow classes: Video flows are scheduled by the framework; Other flows
+// bypass the scheduler (the paper's framework only manages video traffic).
+const (
+	Video Class = iota
+	Other
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Tau is the slot length in seconds.
+	Tau units.Seconds
+	// Unit is the data-unit size δ (KB).
+	Unit units.KB
+	// Capacity is the base-station budget S (KB/s).
+	Capacity units.KBps
+	// Radio converts reported RSSI into link rate and energy price.
+	Radio radio.Model
+	// RRC, when non-zero (Pd > 0), enables device-energy accounting: each
+	// attached user gets an RRC machine and the gateway tracks its
+	// transmission (Eq. 3) and tail (Eq. 4) energy. Leave zero to skip.
+	RRC rrc.Profile
+	// QueueCap bounds each user's Data Receiver queue in KB (prefetched
+	// from the source but not yet transmitted). Must exceed one slot's
+	// worth of the fastest link.
+	QueueCap units.KB
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Tau <= 0 {
+		return fmt.Errorf("gateway: non-positive tau %v", c.Tau)
+	}
+	if c.Unit <= 0 {
+		return fmt.Errorf("gateway: non-positive unit %v", c.Unit)
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("gateway: non-positive capacity %v", c.Capacity)
+	}
+	if c.Radio.Throughput == nil || c.Radio.Power == nil {
+		return fmt.Errorf("gateway: radio model not fully specified")
+	}
+	if c.QueueCap <= 0 {
+		return fmt.Errorf("gateway: non-positive queue cap %v", c.QueueCap)
+	}
+	return c.RRC.Validate()
+}
+
+// trackEnergy reports whether device-energy accounting is enabled.
+func (c Config) trackEnergy() bool { return c.RRC.Pd > 0 }
+
+// user is the gateway's per-session state.
+type user struct {
+	id       int
+	ep       Endpoint
+	src      Source
+	queue    []byte // Data Receiver buffer
+	srcDone  bool   // source exhausted
+	detached bool
+	sentKB   units.KB
+	// buffered playback estimate maintained from deliveries and wall
+	// slots, used to populate sched.User.BufferSec.
+	bufferSec units.Seconds
+	// machine and the energy tallies are populated only when the gateway
+	// was configured with an RRC profile.
+	machine     *rrc.Machine
+	transEnergy units.MJ
+	tailEnergy  units.MJ
+}
+
+// Stats summarizes one user's progress.
+type Stats struct {
+	ID        int
+	SentKB    units.KB
+	QueuedKB  units.KB
+	BufferSec units.Seconds
+	Done      bool // source drained and queue empty
+	Detached  bool
+	// TransEnergy and TailEnergy are populated when the gateway was
+	// configured with an RRC profile (Config.RRC).
+	TransEnergy units.MJ
+	TailEnergy  units.MJ
+}
+
+// Energy returns the user's total accounted energy.
+func (s Stats) Energy() units.MJ { return s.TransEnergy + s.TailEnergy }
+
+// Gateway is the framework instance. Attach users, then call Step once
+// per slot (or drive it from a time.Ticker).
+type Gateway struct {
+	mu    sync.Mutex
+	cfg   Config
+	sched sched.Scheduler
+	users []*user
+	slot  int
+	// bypassKB counts non-video bytes forwarded without scheduling.
+	bypassKB units.KB
+}
+
+// New builds a Gateway around the given scheduling algorithm.
+func New(cfg Config, s sched.Scheduler) (*Gateway, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, errors.New("gateway: nil scheduler")
+	}
+	return &Gateway{cfg: cfg, sched: s}, nil
+}
+
+// Attach registers a user with its content source and downlink endpoint,
+// returning the user id.
+func (g *Gateway) Attach(ep Endpoint, src Source) (int, error) {
+	if ep == nil || src == nil {
+		return 0, errors.New("gateway: nil endpoint or source")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := &user{id: len(g.users), ep: ep, src: src}
+	if g.cfg.trackEnergy() {
+		m, err := rrc.NewMachine(g.cfg.RRC)
+		if err != nil {
+			return 0, err
+		}
+		u.machine = m
+	}
+	g.users = append(g.users, u)
+	return u.id, nil
+}
+
+// Forward carries one non-video packet through the gateway unscheduled,
+// emulating the resource-slicing split: only Video-class traffic goes
+// through the Scheduler. It returns the class the packet was given.
+func (g *Gateway) Forward(class Class, payload []byte, deliver func([]byte) error) (Class, error) {
+	if class != Video {
+		if err := deliver(payload); err != nil {
+			return class, fmt.Errorf("gateway: bypass delivery: %w", err)
+		}
+		g.mu.Lock()
+		g.bypassKB += units.KB(float64(len(payload)) / 1000)
+		g.mu.Unlock()
+		return Other, nil
+	}
+	return Video, errors.New("gateway: video traffic must flow through an attached Source")
+}
+
+// BypassedKB reports how much non-video traffic was forwarded unscheduled.
+func (g *Gateway) BypassedKB() units.KB {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bypassKB
+}
+
+// Slot returns the number of completed slots.
+func (g *Gateway) Slot() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.slot
+}
+
+// Step advances the gateway by one slot: receive → collect → schedule →
+// transmit. It returns the per-user allocations in data units.
+func (g *Gateway) Step() ([]int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	// 1. Data Receiver: top up each user's queue from its source.
+	for _, u := range g.users {
+		g.fill(u)
+	}
+
+	// 2. Information Collector: build the cross-layer slot view.
+	slot := sched.Slot{
+		N:             g.slot,
+		Tau:           g.cfg.Tau,
+		Unit:          g.cfg.Unit,
+		CapacityUnits: int(float64(g.cfg.Capacity) * float64(g.cfg.Tau) / float64(g.cfg.Unit)),
+		Users:         make([]sched.User, len(g.users)),
+	}
+	reports := make([]Report, len(g.users))
+	for i, u := range g.users {
+		view := sched.User{Index: i}
+		if !u.detached {
+			if rep, ok := u.ep.Report(); ok {
+				reports[i] = rep
+				queuedKB := units.KB(float64(len(u.queue)) / 1000)
+				link := g.cfg.Radio.Throughput.Throughput(rep.Sig)
+				maxUnits := int(float64(link) * float64(g.cfg.Tau) / float64(g.cfg.Unit))
+				queueUnits := int(float64(queuedKB) / float64(g.cfg.Unit))
+				if maxUnits > queueUnits {
+					maxUnits = queueUnits
+				}
+				view = sched.User{
+					Index:       i,
+					Active:      queuedKB > 0,
+					Sig:         rep.Sig,
+					LinkRate:    link,
+					EnergyPerKB: g.cfg.Radio.Power.EnergyPerKB(rep.Sig),
+					Rate:        rep.Rate,
+					BufferSec:   u.bufferSec,
+					RemainingKB: queuedKB,
+					MaxUnits:    maxUnits,
+				}
+			} else {
+				u.detached = true
+			}
+		}
+		slot.Users[i] = view
+	}
+
+	// 3. Scheduler.
+	alloc := make([]int, len(g.users))
+	g.sched.Allocate(&slot, alloc)
+	// Defensive clamp, mirroring the simulator's non-strict mode.
+	total := 0
+	for i := range alloc {
+		if alloc[i] < 0 {
+			alloc[i] = 0
+		}
+		if alloc[i] > slot.Users[i].MaxUnits {
+			alloc[i] = slot.Users[i].MaxUnits
+		}
+		total += alloc[i]
+	}
+	for i := len(alloc) - 1; i >= 0 && total > slot.CapacityUnits; i-- {
+		cut := alloc[i]
+		if cut > total-slot.CapacityUnits {
+			cut = total - slot.CapacityUnits
+		}
+		alloc[i] -= cut
+		total -= cut
+	}
+
+	// 4. Data Transmitter.
+	for i, u := range g.users {
+		// Age the playback estimate by one slot first.
+		if u.bufferSec > g.cfg.Tau {
+			u.bufferSec -= g.cfg.Tau
+		} else {
+			u.bufferSec = 0
+		}
+		if alloc[i] == 0 || u.detached {
+			if u.machine != nil && !u.detached {
+				u.tailEnergy += u.machine.IdleSlot(g.cfg.Tau)
+			}
+			continue
+		}
+		kb := float64(alloc[i]) * float64(g.cfg.Unit)
+		nbytes := int(kb * 1000)
+		if nbytes > len(u.queue) {
+			nbytes = len(u.queue)
+		}
+		payload := u.queue[:nbytes]
+		if err := u.ep.Deliver(payload); err != nil {
+			u.detached = true
+			continue
+		}
+		u.queue = u.queue[nbytes:]
+		deliveredKB := units.KB(float64(nbytes) / 1000)
+		u.sentKB += deliveredKB
+		if rate := reports[i].Rate; rate > 0 {
+			u.bufferSec += units.Seconds(float64(deliveredKB) / float64(rate))
+		}
+		if u.machine != nil {
+			u.transEnergy += g.cfg.Radio.TransmissionEnergy(slot.Users[i].Sig, deliveredKB)
+			u.machine.Transfer()
+		}
+	}
+	g.slot++
+	return alloc, nil
+}
+
+// fill tops up a user's receiver queue from its source.
+func (g *Gateway) fill(u *user) {
+	if u.srcDone || u.detached {
+		return
+	}
+	capBytes := int(float64(g.cfg.QueueCap) * 1000)
+	for len(u.queue) < capBytes {
+		chunk := make([]byte, capBytes-len(u.queue))
+		n, err := u.src.Read(chunk)
+		if n > 0 {
+			u.queue = append(u.queue, chunk[:n]...)
+		}
+		if err != nil {
+			u.srcDone = true
+			return
+		}
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// StatsFor returns a user's progress.
+func (g *Gateway) StatsFor(id int) (Stats, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 || id >= len(g.users) {
+		return Stats{}, fmt.Errorf("gateway: unknown user %d", id)
+	}
+	u := g.users[id]
+	return Stats{
+		ID:          id,
+		SentKB:      u.sentKB,
+		QueuedKB:    units.KB(float64(len(u.queue)) / 1000),
+		BufferSec:   u.bufferSec,
+		Done:        u.srcDone && len(u.queue) == 0,
+		Detached:    u.detached,
+		TransEnergy: u.transEnergy,
+		TailEnergy:  u.tailEnergy,
+	}, nil
+}
+
+// AllDone reports whether every attached user's source is drained and its
+// queue empty (or the user detached).
+func (g *Gateway) AllDone() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.users) == 0 {
+		return false
+	}
+	for _, u := range g.users {
+		if u.detached {
+			continue
+		}
+		if !u.srcDone || len(u.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}

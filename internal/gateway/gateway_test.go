@@ -1,0 +1,294 @@
+package gateway
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"jointstream/internal/radio"
+	"jointstream/internal/rrc"
+	"jointstream/internal/sched"
+	"jointstream/internal/signal"
+	"jointstream/internal/units"
+)
+
+func testConfig() Config {
+	return Config{
+		Tau:      1,
+		Unit:     100,
+		Capacity: 5000,
+		Radio:    radio.Paper3G(),
+		QueueCap: 10000,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.Tau = 0 },
+		func(c *Config) { c.Unit = 0 },
+		func(c *Config) { c.Capacity = 0 },
+		func(c *Config) { c.Radio = radio.Model{} },
+		func(c *Config) { c.QueueCap = 0 },
+	}
+	for i, m := range muts {
+		c := testConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testConfig(), nil); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := New(Config{}, sched.NewDefault()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func attachUser(t *testing.T, g *Gateway, sizeKB units.KB, rate units.KBps, sig units.DBm) (*LocalEndpoint, int) {
+	t.Helper()
+	ep, err := NewLocalEndpoint(signal.Constant(sig, signal.DefaultBounds), rate, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewPatternSource(sizeKB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.Attach(ep, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep, id
+}
+
+func TestAttachValidation(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	if _, err := g.Attach(nil, &PatternSource{}); err == nil {
+		t.Error("nil endpoint accepted")
+	}
+	ep, _ := NewLocalEndpoint(signal.Constant(-60, signal.DefaultBounds), 400, false)
+	if _, err := g.Attach(ep, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	g, err := New(testConfig(), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, id := attachUser(t, g, 2000, 400, -60)
+	for i := 0; i < 50 && !g.AllDone(); i++ {
+		if _, err := g.Step(); err != nil {
+			t.Fatal(err)
+		}
+		ep.Advance()
+	}
+	if !g.AllDone() {
+		t.Fatal("delivery did not finish in 50 slots")
+	}
+	if got := ep.ReceivedBytes(); got != 2_000_000 {
+		t.Errorf("received %d bytes, want 2000000", got)
+	}
+	if err := Verify(ep.Payload()); err != nil {
+		t.Errorf("payload integrity: %v", err)
+	}
+	st, err := g.StatsFor(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.SentKB != 2000 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCapacitySharedAcrossUsers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Capacity = 1000 // 10 units/slot
+	g, _ := New(cfg, sched.NewDefault())
+	epA, _ := attachUser(t, g, 5000, 400, -60)
+	epB, _ := attachUser(t, g, 5000, 400, -60)
+	alloc, err := g.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0]+alloc[1] > 10 {
+		t.Errorf("allocated %v units, capacity 10", alloc)
+	}
+	_ = epA
+	_ = epB
+}
+
+func TestRTMAInGateway(t *testing.T) {
+	rt, err := sched.NewRTMA(sched.RTMAConfig{
+		Budget: 2000, Radio: radio.Paper3G(), RRC: rrc.Paper3G(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(testConfig(), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := attachUser(t, g, 1000, 400, -60)
+	for i := 0; i < 30 && !g.AllDone(); i++ {
+		if _, err := g.Step(); err != nil {
+			t.Fatal(err)
+		}
+		ep.Advance()
+	}
+	if ep.ReceivedBytes() == 0 {
+		t.Error("RTMA gateway delivered nothing")
+	}
+}
+
+func TestDisconnectedUserDetaches(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	ep, id := attachUser(t, g, 100000, 400, -60)
+	g.Step()
+	ep.Disconnect()
+	g.Step()
+	st, _ := g.StatsFor(id)
+	if !st.Detached {
+		t.Error("user not detached after disconnect")
+	}
+	// Further steps must not panic or allocate to the detached user.
+	alloc, err := g.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[id] != 0 {
+		t.Errorf("detached user allocated %d", alloc[id])
+	}
+}
+
+type failingEndpoint struct{ LocalEndpoint }
+
+func (f *failingEndpoint) Report() (Report, bool) { return Report{Sig: -60, Rate: 400}, true }
+func (f *failingEndpoint) Deliver([]byte) error   { return errors.New("link down") }
+
+func TestDeliveryErrorDetaches(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	src, _ := NewPatternSource(1000)
+	id, err := g.Attach(&failingEndpoint{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Step()
+	st, _ := g.StatsFor(id)
+	if !st.Detached {
+		t.Error("delivery failure did not detach user")
+	}
+}
+
+func TestForwardBypass(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	var got []byte
+	class, err := g.Forward(Other, []byte{1, 2, 3}, func(p []byte) error {
+		got = append(got, p...)
+		return nil
+	})
+	if err != nil || class != Other {
+		t.Fatalf("Forward(Other) = %v, %v", class, err)
+	}
+	if len(got) != 3 {
+		t.Errorf("bypass delivered %d bytes", len(got))
+	}
+	if g.BypassedKB() != 0.003 {
+		t.Errorf("BypassedKB = %v", g.BypassedKB())
+	}
+	// Video packets must be refused on the bypass path.
+	if _, err := g.Forward(Video, []byte{1}, func([]byte) error { return nil }); err == nil {
+		t.Error("video accepted on bypass path")
+	}
+	// Bypass delivery errors surface.
+	if _, err := g.Forward(Other, []byte{1}, func([]byte) error { return errors.New("x") }); err == nil {
+		t.Error("bypass error swallowed")
+	}
+}
+
+func TestStatsForUnknownUser(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	if _, err := g.StatsFor(0); err == nil {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestAllDoneEmptyGateway(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	if g.AllDone() {
+		t.Error("empty gateway reports done")
+	}
+}
+
+func TestSlotCounter(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	attachUser(t, g, 100, 400, -60)
+	for i := 0; i < 5; i++ {
+		g.Step()
+	}
+	if g.Slot() != 5 {
+		t.Errorf("Slot = %d, want 5", g.Slot())
+	}
+}
+
+func TestBufferEstimateTracksDeliveries(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	_, id := attachUser(t, g, 400, 400, -60)
+	g.Step() // delivers up to capacity: 400KB at 400KB/s = 1s of playback
+	st, _ := g.StatsFor(id)
+	if st.BufferSec <= 0 {
+		t.Errorf("buffer estimate %v after delivery", st.BufferSec)
+	}
+}
+
+func TestLocalEndpointValidation(t *testing.T) {
+	if _, err := NewLocalEndpoint(nil, 400, false); err == nil {
+		t.Error("nil trace accepted")
+	}
+	tr := signal.Constant(-60, signal.DefaultBounds)
+	if _, err := NewLocalEndpoint(tr, 0, false); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestPatternSource(t *testing.T) {
+	if _, err := NewPatternSource(0); err == nil {
+		t.Error("zero size accepted")
+	}
+	src, err := NewPatternSource(1) // 1000 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 600)
+	n, err := src.Read(buf)
+	if n != 600 || err != nil {
+		t.Fatalf("first read = %d, %v", n, err)
+	}
+	n, err = src.Read(buf)
+	if n != 400 || err != io.EOF {
+		t.Fatalf("second read = %d, %v (want 400, EOF)", n, err)
+	}
+	n, err = src.Read(buf)
+	if n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF read = %d, %v", n, err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	good := []byte{0, 1, 2, 3}
+	if err := Verify(good); err != nil {
+		t.Errorf("valid payload rejected: %v", err)
+	}
+	bad := []byte{0, 1, 9}
+	if err := Verify(bad); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+}

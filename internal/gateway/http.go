@@ -1,0 +1,120 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler exposes a running Gateway over HTTP for monitoring:
+//
+//	GET /healthz        -> 200 "ok"
+//	GET /stats          -> JSON array of per-user Stats
+//	GET /stats?user=3   -> JSON Stats of one user
+//	GET /summary        -> JSON gateway summary (slot count, totals)
+//
+// All endpoints are read-only; the handler is safe to serve while Step is
+// being driven from another goroutine (the Gateway is internally locked).
+func Handler(gw *Gateway) http.Handler {
+	if gw == nil {
+		panic("gateway: nil gateway for Handler")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("user"); q != "" {
+			var id int
+			if _, err := fmt.Sscanf(q, "%d", &id); err != nil {
+				http.Error(w, "bad user id", http.StatusBadRequest)
+				return
+			}
+			st, err := gw.StatsFor(id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, toView(st))
+			return
+		}
+		writeJSON(w, allStats(gw))
+	})
+	mux.HandleFunc("GET /summary", func(w http.ResponseWriter, r *http.Request) {
+		stats := allStats(gw)
+		sum := summaryView{
+			Slot:      gw.Slot(),
+			Users:     len(stats),
+			AllDone:   gw.AllDone(),
+			BypassKB:  float64(gw.BypassedKB()),
+			Scheduler: gw.sched.Name(),
+		}
+		for _, st := range stats {
+			sum.SentKB += st.SentKB
+			sum.EnergyMJ += st.TransEnergyMJ + st.TailEnergyMJ
+			if st.Detached {
+				sum.Detached++
+			}
+		}
+		writeJSON(w, sum)
+	})
+	return mux
+}
+
+// statView is the JSON shape of one user's stats.
+type statView struct {
+	ID            int     `json:"id"`
+	SentKB        float64 `json:"sent_kb"`
+	QueuedKB      float64 `json:"queued_kb"`
+	BufferSec     float64 `json:"buffer_sec"`
+	Done          bool    `json:"done"`
+	Detached      bool    `json:"detached"`
+	TransEnergyMJ float64 `json:"trans_energy_mj"`
+	TailEnergyMJ  float64 `json:"tail_energy_mj"`
+}
+
+func toView(st Stats) statView {
+	return statView{
+		ID:            st.ID,
+		SentKB:        float64(st.SentKB),
+		QueuedKB:      float64(st.QueuedKB),
+		BufferSec:     float64(st.BufferSec),
+		Done:          st.Done,
+		Detached:      st.Detached,
+		TransEnergyMJ: float64(st.TransEnergy),
+		TailEnergyMJ:  float64(st.TailEnergy),
+	}
+}
+
+type summaryView struct {
+	Slot      int     `json:"slot"`
+	Users     int     `json:"users"`
+	Detached  int     `json:"detached"`
+	AllDone   bool    `json:"all_done"`
+	SentKB    float64 `json:"sent_kb"`
+	EnergyMJ  float64 `json:"energy_mj"`
+	BypassKB  float64 `json:"bypass_kb"`
+	Scheduler string  `json:"scheduler"`
+}
+
+func allStats(gw *Gateway) []statView {
+	var out []statView
+	for id := 0; ; id++ {
+		st, err := gw.StatsFor(id)
+		if err != nil {
+			break
+		}
+		out = append(out, toView(st))
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,138 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"jointstream/internal/rrc"
+	"jointstream/internal/sched"
+)
+
+func monitoredGateway(t *testing.T) (*Gateway, *LocalEndpoint) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.RRC = rrc.Paper3G()
+	g, err := New(cfg, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := attachUser(t, g, 1000, 400, -60)
+	return g, ep
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	g, _ := monitoredGateway(t)
+	srv := httptest.NewServer(Handler(g))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	g, ep := monitoredGateway(t)
+	for i := 0; i < 5 && !g.AllDone(); i++ {
+		g.Step()
+		ep.Advance()
+	}
+	srv := httptest.NewServer(Handler(g))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var all []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("got %d users", len(all))
+	}
+	if all[0]["sent_kb"].(float64) <= 0 {
+		t.Errorf("no bytes reported: %v", all[0])
+	}
+	if all[0]["trans_energy_mj"].(float64) <= 0 {
+		t.Errorf("no energy reported: %v", all[0])
+	}
+
+	// Single-user query.
+	resp2, err := srv.Client().Get(srv.URL + "/stats?user=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var one map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	if one["id"].(float64) != 0 {
+		t.Errorf("wrong user: %v", one)
+	}
+}
+
+func TestHTTPStatsErrors(t *testing.T) {
+	g, _ := monitoredGateway(t)
+	srv := httptest.NewServer(Handler(g))
+	defer srv.Close()
+	for path, want := range map[string]int{
+		"/stats?user=abc": 400,
+		"/stats?user=99":  404,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s status = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestHTTPSummary(t *testing.T) {
+	g, ep := monitoredGateway(t)
+	for i := 0; i < 10 && !g.AllDone(); i++ {
+		g.Step()
+		ep.Advance()
+	}
+	srv := httptest.NewServer(Handler(g))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum["users"].(float64) != 1 {
+		t.Errorf("summary users = %v", sum["users"])
+	}
+	if sum["scheduler"].(string) != "Default" {
+		t.Errorf("scheduler = %v", sum["scheduler"])
+	}
+	if sum["all_done"].(bool) != true {
+		t.Errorf("all_done = %v (slot %v)", sum["all_done"], sum["slot"])
+	}
+	if sum["sent_kb"].(float64) != 1000 {
+		t.Errorf("sent_kb = %v", sum["sent_kb"])
+	}
+}
+
+func TestHandlerPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Handler(nil)
+}

@@ -1,0 +1,220 @@
+package gateway
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"jointstream/internal/units"
+)
+
+// This file implements the gateway's wire protocol for real (TCP) clients,
+// used by cmd/jstream-gateway and the live examples. The protocol is
+// newline-delimited and deliberately minimal:
+//
+//	client -> gateway:  HELLO <videoKB> <rateKBps>
+//	client -> gateway:  SIG <dBm>            (any time; updates the report)
+//	gateway -> client:  DATA <n>\n<n raw bytes>
+//
+// The gateway side adapts one connection to the Endpoint interface; the
+// client side (Client) performs the handshake, streams RSSI updates and
+// consumes DATA frames.
+
+// TCPEndpoint adapts a net.Conn to the Endpoint interface. Reports are
+// updated by a background reader consuming SIG lines.
+type TCPEndpoint struct {
+	mu   sync.Mutex
+	conn net.Conn
+	sig  units.DBm
+	rate units.KBps
+	gone bool
+}
+
+// Report implements Endpoint.
+func (e *TCPEndpoint) Report() (Report, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gone {
+		return Report{}, false
+	}
+	return Report{Sig: e.sig, Rate: e.rate}, true
+}
+
+// Deliver implements Endpoint: one DATA frame per slot grant.
+func (e *TCPEndpoint) Deliver(p []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gone {
+		return fmt.Errorf("gateway: client gone")
+	}
+	if _, err := fmt.Fprintf(e.conn, "DATA %d\n", len(p)); err != nil {
+		e.gone = true
+		return err
+	}
+	if _, err := e.conn.Write(p); err != nil {
+		e.gone = true
+		return err
+	}
+	return nil
+}
+
+// markGone flags the endpoint as disconnected.
+func (e *TCPEndpoint) markGone() {
+	e.mu.Lock()
+	e.gone = true
+	e.mu.Unlock()
+}
+
+// setSig updates the reported signal.
+func (e *TCPEndpoint) setSig(v units.DBm) {
+	e.mu.Lock()
+	e.sig = v
+	e.mu.Unlock()
+}
+
+// Hello is the parsed client handshake.
+type Hello struct {
+	VideoKB units.KB
+	Rate    units.KBps
+}
+
+// parseHello validates a HELLO line.
+func parseHello(line string) (Hello, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 3 || fields[0] != "HELLO" {
+		return Hello{}, fmt.Errorf("gateway: bad handshake %q", strings.TrimSpace(line))
+	}
+	size, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil || size <= 0 {
+		return Hello{}, fmt.Errorf("gateway: bad video size %q", fields[1])
+	}
+	rate, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || rate <= 0 {
+		return Hello{}, fmt.Errorf("gateway: bad rate %q", fields[2])
+	}
+	return Hello{VideoKB: units.KB(size), Rate: units.KBps(rate)}, nil
+}
+
+// AttachConn performs the HELLO handshake on conn, attaches the resulting
+// user to gw with a PatternSource of the requested size, and starts a
+// background reader that applies SIG updates until the client hangs up.
+// The initial report uses initialSig until the first SIG line arrives.
+func AttachConn(gw *Gateway, conn net.Conn, initialSig units.DBm) (int, error) {
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, fmt.Errorf("gateway: handshake read: %w", err)
+	}
+	hello, err := parseHello(line)
+	if err != nil {
+		return 0, err
+	}
+	ep := &TCPEndpoint{conn: conn, sig: initialSig, rate: hello.Rate}
+	src, err := NewPatternSource(hello.VideoKB)
+	if err != nil {
+		return 0, err
+	}
+	id, err := gw.Attach(ep, src)
+	if err != nil {
+		return 0, err
+	}
+	go func() {
+		defer conn.Close()
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				ep.markGone()
+				return
+			}
+			f := strings.Fields(strings.TrimSpace(line))
+			if len(f) == 2 && f[0] == "SIG" {
+				if dbm, err := strconv.ParseFloat(f[1], 64); err == nil {
+					ep.setSig(units.DBm(dbm))
+				}
+			}
+		}
+	}()
+	return id, nil
+}
+
+// Client is the device side of the protocol.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	want int64
+	got  int64
+}
+
+// DialClient connects to a gateway and performs the handshake for a video
+// of the given size and required rate.
+func DialClient(addr string, videoKB units.KB, rate units.KBps) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, videoKB, rate)
+}
+
+// NewClient runs the handshake over an existing connection (useful with
+// net.Pipe in tests).
+func NewClient(conn net.Conn, videoKB units.KB, rate units.KBps) (*Client, error) {
+	if videoKB <= 0 || rate <= 0 {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: invalid client parameters (video %v, rate %v)", videoKB, rate)
+	}
+	if _, err := fmt.Fprintf(conn, "HELLO %g %g\n", float64(videoKB), float64(rate)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		want: int64(float64(videoKB) * 1000),
+	}, nil
+}
+
+// ReportSignal sends a SIG update.
+func (c *Client) ReportSignal(sig units.DBm) error {
+	_, err := fmt.Fprintf(c.conn, "SIG %.1f\n", float64(sig))
+	return err
+}
+
+// ReadFrame consumes the next DATA frame, returning its payload length.
+// io.EOF is returned once the full video has been received.
+func (c *Client) ReadFrame() (int, error) {
+	if c.got >= c.want {
+		return 0, io.EOF
+	}
+	for {
+		line, err := c.br.ReadString('\n')
+		if err != nil {
+			return 0, err
+		}
+		f := strings.Fields(strings.TrimSpace(line))
+		if len(f) != 2 || f[0] != "DATA" {
+			continue // tolerate unknown lines
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("gateway: bad DATA header %q", strings.TrimSpace(line))
+		}
+		if _, err := io.CopyN(io.Discard, c.br, int64(n)); err != nil {
+			return 0, err
+		}
+		c.got += int64(n)
+		return n, nil
+	}
+}
+
+// ReceivedBytes reports the client's progress.
+func (c *Client) ReceivedBytes() int64 { return c.got }
+
+// Done reports whether the whole video arrived.
+func (c *Client) Done() bool { return c.got >= c.want }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

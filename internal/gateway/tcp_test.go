@@ -1,0 +1,261 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+)
+
+func TestParseHello(t *testing.T) {
+	good, err := parseHello("HELLO 2000 400\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.VideoKB != 2000 || good.Rate != 400 {
+		t.Errorf("parsed %+v", good)
+	}
+	bad := []string{
+		"",
+		"HELLO\n",
+		"HELLO 2000\n",
+		"HOWDY 2000 400\n",
+		"HELLO abc 400\n",
+		"HELLO 2000 abc\n",
+		"HELLO -5 400\n",
+		"HELLO 2000 0\n",
+		"HELLO 1 2 3\n",
+	}
+	for _, line := range bad {
+		if _, err := parseHello(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	if _, err := NewClient(a, 0, 400); err == nil {
+		t.Error("zero video accepted")
+	}
+	a2, b2 := net.Pipe()
+	defer b2.Close()
+	if _, err := NewClient(a2, 100, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+// startGateway runs a gateway over a real TCP listener, stepping every
+// few milliseconds, and returns its address and a stop function.
+func startGateway(t *testing.T, s sched.Scheduler) (string, func()) {
+	t.Helper()
+	gw, err := New(Config{
+		Tau:      0.05,
+		Unit:     25,
+		Capacity: 50000,
+		Radio:    testConfig().Radio,
+		QueueCap: 10000,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if _, err := AttachConn(gw, conn, -80); err != nil {
+				conn.Close()
+			}
+		}
+	}()
+	go func() {
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				gw.Step()
+			}
+		}
+	}()
+	return ln.Addr().String(), func() {
+		close(stop)
+		ln.Close()
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	addr, stop := startGateway(t, sched.NewDefault())
+	defer stop()
+
+	c, err := DialClient(addr, 500, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.ReportSignal(-60); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(30 * time.Second)
+	for !c.Done() {
+		select {
+		case <-deadline:
+			t.Fatalf("timeout: received %d bytes", c.ReceivedBytes())
+		default:
+		}
+		if _, err := c.ReadFrame(); err != nil {
+			if err == io.EOF && c.Done() {
+				break
+			}
+			t.Fatalf("ReadFrame: %v (got %d)", err, c.ReceivedBytes())
+		}
+	}
+	if c.ReceivedBytes() != 500000 {
+		t.Errorf("received %d bytes, want 500000", c.ReceivedBytes())
+	}
+	// Post-completion reads report EOF.
+	if _, err := c.ReadFrame(); err != io.EOF {
+		t.Errorf("post-completion ReadFrame err = %v, want EOF", err)
+	}
+}
+
+func TestTCPMultipleClients(t *testing.T) {
+	addr, stop := startGateway(t, sched.NewDefault())
+	defer stop()
+
+	const n = 3
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(id int) {
+			c, err := DialClient(addr, 200, 400)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			deadline := time.After(30 * time.Second)
+			for !c.Done() {
+				select {
+				case <-deadline:
+					errs <- fmt.Errorf("client %d timeout at %d bytes", id, c.ReceivedBytes())
+					return
+				default:
+				}
+				if _, err := c.ReadFrame(); err != nil && err != io.EOF {
+					errs <- fmt.Errorf("client %d: %w", id, err)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAttachConnRejectsBadHandshake(t *testing.T) {
+	gw, err := New(Config{
+		Tau: 1, Unit: 100, Capacity: 5000,
+		Radio: testConfig().Radio, QueueCap: 1000,
+	}, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := AttachConn(gw, server, -80)
+		done <- err
+	}()
+	fmt.Fprintf(client, "GARBAGE\n")
+	if err := <-done; err == nil {
+		t.Error("bad handshake accepted")
+	}
+	client.Close()
+	server.Close()
+}
+
+func TestTCPEndpointReportAndLifecycle(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	ep := &TCPEndpoint{conn: server, sig: -80, rate: 400}
+
+	rep, ok := ep.Report()
+	if !ok || rep.Sig != -80 || rep.Rate != 400 {
+		t.Fatalf("initial report = %+v, %v", rep, ok)
+	}
+	ep.setSig(-55)
+	rep, _ = ep.Report()
+	if rep.Sig != units.DBm(-55) {
+		t.Errorf("sig after update = %v", rep.Sig)
+	}
+	ep.markGone()
+	if _, ok := ep.Report(); ok {
+		t.Error("gone endpoint still reporting")
+	}
+	if err := ep.Deliver([]byte{1}); err == nil {
+		t.Error("delivery to gone endpoint succeeded")
+	}
+}
+
+func TestTCPEndpointDeliverFrames(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	ep := &TCPEndpoint{conn: server, sig: -70, rate: 400}
+	payload := []byte("hello-frame")
+	go func() {
+		if err := ep.Deliver(payload); err != nil {
+			t.Error(err)
+		}
+		server.Close()
+	}()
+	buf := make([]byte, 256)
+	var got []byte
+	for {
+		n, err := client.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	want := fmt.Sprintf("DATA %d\n%s", len(payload), payload)
+	if string(got) != want {
+		t.Errorf("wire bytes = %q, want %q", got, want)
+	}
+}
+
+func TestClientReadFrameBadHeader(t *testing.T) {
+	server, client := net.Pipe()
+	go func() {
+		// Drain the handshake, then emit a corrupt DATA header.
+		buf := make([]byte, 64)
+		server.Read(buf)
+		fmt.Fprintf(server, "DATA notanumber\n")
+	}()
+	c, err := NewClient(client, 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ReadFrame(); err == nil {
+		t.Error("corrupt DATA header accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Package lyapunov implements the Lyapunov-optimization machinery behind
+// the paper's EMA scheduler (§V): per-user virtual rebuffering queues
+// (Eq. 16), the quadratic Lyapunov function (Eq. 17), the one-slot drift
+// bound constant B (Eq. 18), and the Theorem-1 performance bounds
+//
+//	PE∞ ≤ E* + B/V          (energy optimality gap shrinks with V)
+//	PC∞ ≤ (B + V·E*)/ε      (rebuffering backlog grows with V)
+//
+// The experiment harness uses these to sanity-check measured EMA runs
+// against their theoretical envelopes and to illustrate the V trade-off.
+package lyapunov
+
+import (
+	"fmt"
+
+	"jointstream/internal/units"
+)
+
+// Queue is one user's virtual rebuffering-time queue PC_i. The zero value
+// is an empty queue.
+type Queue struct {
+	value units.Seconds
+}
+
+// Value returns the current queue length (may be negative: buffered
+// headroom).
+func (q *Queue) Value() units.Seconds { return q.value }
+
+// Update applies Eq. (16): PC(n+1) = PC(n) + τ − t, where t is the
+// playback time of the data delivered this slot, and returns the new value.
+func (q *Queue) Update(tau, t units.Seconds) units.Seconds {
+	q.value += tau - t
+	return q.value
+}
+
+// Reset empties the queue.
+func (q *Queue) Reset() { q.value = 0 }
+
+// Lyapunov returns the quadratic Lyapunov function of Eq. (17),
+// L = ½ Σ PC_i², over a set of queue values.
+func Lyapunov(queues []units.Seconds) float64 {
+	var sum float64
+	for _, v := range queues {
+		sum += float64(v) * float64(v)
+	}
+	return sum / 2
+}
+
+// DriftBound returns the constant B of Eq. (18),
+// B = ½ Σ_{i=1..N} (τ² + t_max²), where t_max bounds the playback time
+// any one-slot shard can sustain for any user.
+func DriftBound(n int, tau, tMax units.Seconds) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("lyapunov: non-positive user count %d", n)
+	}
+	if tau <= 0 {
+		return 0, fmt.Errorf("lyapunov: non-positive slot length %v", tau)
+	}
+	if tMax < 0 {
+		return 0, fmt.Errorf("lyapunov: negative t_max %v", tMax)
+	}
+	return 0.5 * float64(n) * (float64(tau)*float64(tau) + float64(tMax)*float64(tMax)), nil
+}
+
+// TMax computes the t_max entering B: the largest playback duration one
+// slot's delivery can sustain, ⌊τ·v_max/δ⌋·δ/p_min — the biggest shard at
+// the highest link rate divided by the lowest encoding rate.
+func TMax(tau units.Seconds, vMax units.KBps, unit units.KB, pMin units.KBps) (units.Seconds, error) {
+	if vMax <= 0 || unit <= 0 || pMin <= 0 {
+		return 0, fmt.Errorf("lyapunov: non-positive parameter (vMax=%v unit=%v pMin=%v)", vMax, unit, pMin)
+	}
+	maxUnits := int(float64(vMax) * float64(tau) / float64(unit))
+	return units.Seconds(float64(maxUnits) * float64(unit) / float64(pMin)), nil
+}
+
+// Bounds holds the Theorem-1 envelopes for one (V, E*, ε) configuration.
+type Bounds struct {
+	// EnergyBound is E* + B/V: an upper bound on the long-run average
+	// energy per slot (summed over users, same unit as E*).
+	EnergyBound float64
+	// RebufferBound is (B + V·E*)/ε: an upper bound on the long-run
+	// average total queue backlog.
+	RebufferBound float64
+}
+
+// Theorem1 evaluates the bounds. eStar is the optimal (minimum achievable)
+// average per-slot energy E*; epsilon is the slack with which a stationary
+// policy can serve the demand (Eq. 25): E{τ − t} ≤ −... the paper requires
+// ε > 0 for the backlog bound to be finite.
+func Theorem1(b, v, eStar, epsilon float64) (Bounds, error) {
+	if b < 0 {
+		return Bounds{}, fmt.Errorf("lyapunov: negative B %v", b)
+	}
+	if v <= 0 {
+		return Bounds{}, fmt.Errorf("lyapunov: non-positive V %v", v)
+	}
+	if eStar < 0 {
+		return Bounds{}, fmt.Errorf("lyapunov: negative E* %v", eStar)
+	}
+	if epsilon <= 0 {
+		return Bounds{}, fmt.Errorf("lyapunov: non-positive epsilon %v", epsilon)
+	}
+	return Bounds{
+		EnergyBound:   eStar + b/v,
+		RebufferBound: (b + v*eStar) / epsilon,
+	}, nil
+}

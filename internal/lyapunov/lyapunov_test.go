@@ -1,0 +1,136 @@
+package lyapunov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jointstream/internal/units"
+)
+
+func TestQueueUpdateEq16(t *testing.T) {
+	var q Queue
+	// Slot with no delivery: grows by tau.
+	if got := q.Update(1, 0); got != 1 {
+		t.Errorf("Update(1,0) = %v, want 1", got)
+	}
+	// Slot delivering 3s of playback: shrinks by 2.
+	if got := q.Update(1, 3); got != -1 {
+		t.Errorf("queue = %v, want -1", got)
+	}
+	if q.Value() != -1 {
+		t.Errorf("Value = %v", q.Value())
+	}
+	q.Reset()
+	if q.Value() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestLyapunovFunction(t *testing.T) {
+	// L = ½(4 + 9) = 6.5
+	if got := Lyapunov([]units.Seconds{2, -3}); got != 6.5 {
+		t.Errorf("Lyapunov = %v, want 6.5", got)
+	}
+	if Lyapunov(nil) != 0 {
+		t.Error("Lyapunov(nil) != 0")
+	}
+}
+
+func TestDriftBound(t *testing.T) {
+	// B = ½·N·(τ² + tmax²) = ½·10·(1+25) = 130
+	b, err := DriftBound(10, 1, 5)
+	if err != nil || b != 130 {
+		t.Errorf("DriftBound = %v, %v; want 130", b, err)
+	}
+	if _, err := DriftBound(0, 1, 5); err == nil {
+		t.Error("zero users accepted")
+	}
+	if _, err := DriftBound(10, 0, 5); err == nil {
+		t.Error("zero tau accepted")
+	}
+	if _, err := DriftBound(10, 1, -1); err == nil {
+		t.Error("negative tmax accepted")
+	}
+}
+
+func TestTMax(t *testing.T) {
+	// vMax=4277 KB/s, unit=100KB, tau=1: 42 units = 4200KB; pMin=300 KB/s
+	// -> 14 s.
+	got, err := TMax(1, 4277, 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 14 {
+		t.Errorf("TMax = %v, want 14", got)
+	}
+	if _, err := TMax(1, 0, 100, 300); err == nil {
+		t.Error("zero vMax accepted")
+	}
+}
+
+func TestTheorem1Bounds(t *testing.T) {
+	b, err := Theorem1(130, 2, 50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.EnergyBound-(50+65)) > 1e-12 {
+		t.Errorf("EnergyBound = %v, want 115", b.EnergyBound)
+	}
+	if math.Abs(b.RebufferBound-(130+100)/0.5) > 1e-12 {
+		t.Errorf("RebufferBound = %v, want 460", b.RebufferBound)
+	}
+}
+
+func TestTheorem1Validation(t *testing.T) {
+	cases := []struct {
+		name                 string
+		b, v, eStar, epsilon float64
+	}{
+		{"negative B", -1, 1, 1, 1},
+		{"zero V", 1, 0, 1, 1},
+		{"negative E*", 1, 1, -1, 1},
+		{"zero epsilon", 1, 1, 1, 0},
+	}
+	for _, c := range cases {
+		if _, err := Theorem1(c.b, c.v, c.eStar, c.epsilon); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+// Property: the V trade-off moves the two bounds in opposite directions.
+func TestTheorem1TradeoffProperty(t *testing.T) {
+	f := func(vRaw uint8) bool {
+		v1 := float64(vRaw%100) + 1
+		v2 := v1 * 2
+		b1, err1 := Theorem1(100, v1, 50, 1)
+		b2, err2 := Theorem1(100, v2, 50, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b2.EnergyBound < b1.EnergyBound && b2.RebufferBound > b1.RebufferBound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: queue telescoping — after any update sequence the queue equals
+// n·τ − Σt (Eq. 15/16 equivalence).
+func TestQueueTelescopingProperty(t *testing.T) {
+	f := func(ts []uint8) bool {
+		var q Queue
+		var sum float64
+		for _, raw := range ts {
+			tSec := float64(raw) / 16
+			q.Update(1, units.Seconds(tSec))
+			sum += tSec
+		}
+		want := float64(len(ts)) - sum
+		return math.Abs(float64(q.Value())-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

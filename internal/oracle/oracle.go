@@ -1,0 +1,234 @@
+// Package oracle computes offline bounds on the energy-minimization
+// problem of the paper's Theorem 1. The Lyapunov bound PE∞ ≤ E* + B/V is
+// stated against E*, the minimum achievable average energy of any policy;
+// E* is unobservable online, but an offline relaxation gives a certified
+// lower bound:
+//
+//   - drop the base-station capacity coupling (Eq. 2) and the rebuffering
+//     constraint, keeping only the per-user link caps (Eq. 1);
+//   - then each user independently buys its video's bytes at its
+//     cheapest-priced slots over the horizon, and tail energy is ignored.
+//
+// Every feasible schedule pays at least this much transmission energy, so
+// the bound certifies how close EMA gets to optimal (the "oracle gap"
+// reported by the experiment harness extension).
+//
+// The package also provides an omniscient heuristic *upper* bound: a
+// future-aware schedule that respects Eq. (1)+(2) by buying globally
+// cheapest (user, slot) units first. Between the two brackets lies E*.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"jointstream/internal/radio"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// Config parameterizes the offline computation.
+type Config struct {
+	// Tau is the slot length.
+	Tau units.Seconds
+	// Unit is the data-unit size δ (KB).
+	Unit units.KB
+	// Capacity is the base-station budget S (KB/s); used only by the
+	// upper bound.
+	Capacity units.KBps
+	// Horizon is the number of slots considered.
+	Horizon int
+	// Radio supplies v(sig) and P(sig).
+	Radio radio.Model
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Tau <= 0 || c.Unit <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("oracle: non-positive tau/unit/horizon (%v/%v/%d)", c.Tau, c.Unit, c.Horizon)
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("oracle: non-positive capacity %v", c.Capacity)
+	}
+	if c.Radio.Throughput == nil || c.Radio.Power == nil {
+		return fmt.Errorf("oracle: radio model not fully specified")
+	}
+	return nil
+}
+
+// Bounds brackets the offline-optimal transmission energy.
+type Bounds struct {
+	// LowerMJ is the capacity-relaxed per-user-independent optimum: no
+	// feasible schedule can spend less transmission energy.
+	LowerMJ units.MJ
+	// UpperMJ is the energy of the omniscient greedy schedule, which is
+	// feasible under Eq. (1)+(2); the true offline optimum E* (ignoring
+	// tails) lies in [LowerMJ, UpperMJ].
+	UpperMJ units.MJ
+	// Feasible reports whether the omniscient schedule managed to deliver
+	// every byte within the horizon; if false, UpperMJ covers only the
+	// delivered portion and the horizon should be extended.
+	Feasible bool
+}
+
+// slotPrice is one (user, slot) opportunity.
+type slotPrice struct {
+	user    int
+	slot    int
+	price   float64 // mJ/KB
+	maxUnit int     // Eq. (1) cap in units
+}
+
+// Plan is the omniscient greedy schedule behind the upper bound:
+// Alloc[n][u] is the data-unit grant of user u in slot n. Feeding it back
+// through the real simulator (sched.NewPlanned) measures what the
+// clairvoyant energy plan does to playback — it ignores buffer dynamics
+// entirely, so its rebuffering can be arbitrarily bad.
+type Plan struct {
+	Alloc  [][]int
+	Bounds Bounds
+}
+
+// ComputePlan evaluates the bounds and returns the upper bound's schedule.
+func ComputePlan(cfg Config, sessions []*workload.Session) (*Plan, error) {
+	b, alloc, err := compute(cfg, sessions, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Alloc: alloc, Bounds: b}, nil
+}
+
+// Compute evaluates both bounds for the given sessions.
+func Compute(cfg Config, sessions []*workload.Session) (Bounds, error) {
+	b, _, err := compute(cfg, sessions, false)
+	return b, err
+}
+
+func compute(cfg Config, sessions []*workload.Session, wantPlan bool) (Bounds, [][]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return Bounds{}, nil, err
+	}
+	if len(sessions) == 0 {
+		return Bounds{}, nil, fmt.Errorf("oracle: no sessions")
+	}
+
+	// Precompute prices and link caps for every (user, slot).
+	prices := make([][]slotPrice, len(sessions))
+	for ui, s := range sessions {
+		prices[ui] = make([]slotPrice, 0, cfg.Horizon)
+		for n := s.StartSlot; n < cfg.Horizon; n++ {
+			sig := s.Signal.At(n)
+			link := cfg.Radio.Throughput.Throughput(sig)
+			maxUnits := int(float64(link) * float64(cfg.Tau) / float64(cfg.Unit))
+			if maxUnits == 0 {
+				continue
+			}
+			prices[ui] = append(prices[ui], slotPrice{
+				user:    ui,
+				slot:    n,
+				price:   float64(cfg.Radio.Power.EnergyPerKB(sig)),
+				maxUnit: maxUnits,
+			})
+		}
+	}
+
+	lower, err := lowerBound(cfg, sessions, prices)
+	if err != nil {
+		return Bounds{}, nil, err
+	}
+	upper, feasible, alloc := upperBound(cfg, sessions, prices, wantPlan)
+	return Bounds{LowerMJ: lower, UpperMJ: upper, Feasible: feasible}, alloc, nil
+}
+
+// lowerBound relaxes Eq. (2): each user fills its demand from its own
+// cheapest slots.
+func lowerBound(cfg Config, sessions []*workload.Session, prices [][]slotPrice) (units.MJ, error) {
+	var total float64
+	for ui, s := range sessions {
+		own := make([]slotPrice, len(prices[ui]))
+		copy(own, prices[ui])
+		sort.Slice(own, func(a, b int) bool { return own[a].price < own[b].price })
+		remaining := float64(s.Size)
+		for _, sp := range own {
+			if remaining <= 0 {
+				break
+			}
+			kb := float64(sp.maxUnit) * float64(cfg.Unit)
+			if kb > remaining {
+				kb = remaining
+			}
+			total += kb * sp.price
+			remaining -= kb
+		}
+		if remaining > 0 {
+			return 0, fmt.Errorf("oracle: user %d cannot deliver %.0f KB within horizon %d even uncapacitated",
+				ui, remaining, cfg.Horizon)
+		}
+	}
+	return units.MJ(total), nil
+}
+
+// upperBound buys globally cheapest units first while honouring per-slot
+// capacity, yielding a feasible (future-aware) schedule. When wantPlan is
+// set, the per-slot per-user unit grants are also returned.
+func upperBound(cfg Config, sessions []*workload.Session, prices [][]slotPrice, wantPlan bool) (units.MJ, bool, [][]int) {
+	all := make([]slotPrice, 0, 1024)
+	for ui := range prices {
+		all = append(all, prices[ui]...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].price != all[b].price {
+			return all[a].price < all[b].price
+		}
+		if all[a].slot != all[b].slot {
+			return all[a].slot < all[b].slot
+		}
+		return all[a].user < all[b].user
+	})
+	capPerSlot := int(float64(cfg.Capacity) * float64(cfg.Tau) / float64(cfg.Unit))
+	slotUsed := make([]int, cfg.Horizon)
+	remaining := make([]float64, len(sessions))
+	for ui, s := range sessions {
+		remaining[ui] = float64(s.Size)
+	}
+	var plan [][]int
+	if wantPlan {
+		plan = make([][]int, cfg.Horizon)
+		for n := range plan {
+			plan[n] = make([]int, len(sessions))
+		}
+	}
+	var total float64
+	for _, sp := range all {
+		if remaining[sp.user] <= 0 {
+			continue
+		}
+		free := capPerSlot - slotUsed[sp.slot]
+		if free <= 0 {
+			continue
+		}
+		unitsGranted := sp.maxUnit
+		if unitsGranted > free {
+			unitsGranted = free
+		}
+		kb := float64(unitsGranted) * float64(cfg.Unit)
+		if kb > remaining[sp.user] {
+			kb = remaining[sp.user]
+			unitsGranted = int((kb + float64(cfg.Unit) - 1) / float64(cfg.Unit))
+		}
+		total += kb * sp.price
+		remaining[sp.user] -= kb
+		slotUsed[sp.slot] += unitsGranted
+		if wantPlan {
+			plan[sp.slot][sp.user] += unitsGranted
+		}
+	}
+	feasible := true
+	for _, r := range remaining {
+		if r > 0 {
+			feasible = false
+			break
+		}
+	}
+	return units.MJ(total), feasible, plan
+}

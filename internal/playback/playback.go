@@ -1,0 +1,215 @@
+// Package playback models the client-side playout buffer of one streaming
+// user: remaining occupancy (paper Eq. 7), per-slot rebuffering time
+// (Eq. 8) and session completion.
+//
+// The paper's convention (Definition 1) is that a data shard allocated in
+// slot n becomes playable only from slot n+1, which is why the occupancy
+// recursion uses the *previous* slot's delivery:
+//
+//	r(n) = max{r(n−1) − τ, 0} + t(n−1),  t(n) = d(n)/p(n),  r(0) = 0
+//	c(n) = max{τ − r(n), 0}  while elapsed playback m(n) < total M
+//
+// Buffer keeps both the occupancy in playback-seconds and the raw byte
+// accounting (delivered vs. video size), so schedulers can cap allocations
+// at the remaining video size and the simulator can detect completion.
+package playback
+
+import (
+	"fmt"
+
+	"jointstream/internal/units"
+)
+
+// Buffer is the playout state of a single user. Create one with New and
+// advance it once per slot with Advance.
+type Buffer struct {
+	videoSize units.KB      // total bytes of the video (byte mode)
+	duration  units.Seconds // total playback time M_i
+
+	occupancy    units.Seconds // r_i(n): playable seconds buffered
+	elapsed      units.Seconds // m_i(n): seconds of video already played
+	delivered    units.KB      // bytes received so far
+	deliveredSec units.Seconds // playback seconds received so far (Σ d/p)
+	pending      units.Seconds // t_i(n−1): playback time of the shard delivered last slot
+
+	rebuffer units.Seconds // accumulated rebuffering time Σ c_i
+	slots    int           // slots advanced so far
+
+	// secondsMode marks an adaptive-bitrate session: the video is a fixed
+	// amount of *content time* whose byte size depends on the rates the
+	// player selects, so delivery completes when the delivered playback
+	// seconds cover the duration rather than when a byte count is reached.
+	secondsMode bool
+}
+
+// New creates the buffer for a video of the given size and total playback
+// duration. Duration is the paper's M_i; for a constant-bit-rate session it
+// equals size divided by the encoding rate.
+func New(size units.KB, duration units.Seconds) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("playback: non-positive video size %v", size)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("playback: non-positive duration %v", duration)
+	}
+	return &Buffer{videoSize: size, duration: duration}, nil
+}
+
+// NewSeconds creates the buffer for an adaptive-bitrate session: a fixed
+// content duration whose byte size follows the rates chosen at delivery
+// time. DeliveryComplete flips once the delivered playback seconds cover
+// the duration.
+func NewSeconds(duration units.Seconds) (*Buffer, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("playback: non-positive duration %v", duration)
+	}
+	return &Buffer{duration: duration, secondsMode: true}, nil
+}
+
+// SecondsMode reports whether this is an adaptive (content-time) session.
+func (b *Buffer) SecondsMode() bool { return b.secondsMode }
+
+// DeliveredSeconds returns the playback seconds received so far.
+func (b *Buffer) DeliveredSeconds() units.Seconds { return b.deliveredSec }
+
+// RemainingSeconds returns the content time still to be delivered
+// (seconds mode; zero once delivery is complete).
+func (b *Buffer) RemainingSeconds() units.Seconds {
+	rem := b.duration - b.deliveredSec
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// VideoSize returns the total size of the video in KB.
+func (b *Buffer) VideoSize() units.KB { return b.videoSize }
+
+// Duration returns the total playback time M_i.
+func (b *Buffer) Duration() units.Seconds { return b.duration }
+
+// Occupancy returns r_i(n), the playable seconds currently buffered.
+func (b *Buffer) Occupancy() units.Seconds { return b.occupancy }
+
+// Elapsed returns m_i(n), the seconds of video already played out.
+func (b *Buffer) Elapsed() units.Seconds { return b.elapsed }
+
+// Delivered returns the bytes received so far.
+func (b *Buffer) Delivered() units.KB { return b.delivered }
+
+// RemainingBytes returns the bytes still to be delivered.
+func (b *Buffer) RemainingBytes() units.KB {
+	rem := b.videoSize - b.delivered
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// DeliveryComplete reports whether the full video has been delivered:
+// all bytes in byte mode, all content seconds in seconds mode.
+func (b *Buffer) DeliveryComplete() bool {
+	if b.secondsMode {
+		return b.deliveredSec >= b.duration-completionTolerance(b.duration)
+	}
+	return b.delivered >= b.videoSize
+}
+
+// PlaybackComplete reports whether the user has watched the whole video
+// (m_i ≥ M_i), after which rebuffering no longer accrues (Eq. 8).
+//
+// Completion is declared in two ways. First, elapsed playback reaching the
+// duration up to a floating-point tolerance: the duration is reconstructed
+// slot-by-slot as Σ d_i(n)/p_i(n), and demanding exact equality would let
+// accumulated rounding error strand a finished user in a permanent
+// one-slot-short rebuffering loop. Second, a fully delivered video whose
+// buffer has drained is complete by definition — no further playback
+// seconds can ever arrive — which also covers variable-bit-rate sessions
+// whose realized Σ d/p differs slightly from the nominal duration.
+func (b *Buffer) PlaybackComplete() bool {
+	if b.elapsed >= b.duration-completionTolerance(b.duration) {
+		return true
+	}
+	return b.DeliveryComplete() && b.occupancy == 0 && b.pending == 0 && b.slots > 0
+}
+
+// completionTolerance returns the absolute slack used to compare elapsed
+// playback against the duration: one part in 10^9, floored at 1 µs.
+func completionTolerance(d units.Seconds) units.Seconds {
+	tol := d * 1e-9
+	if tol < 1e-6 {
+		tol = 1e-6
+	}
+	return tol
+}
+
+// TotalRebuffer returns the accumulated rebuffering time Σ_n c_i(n).
+func (b *Buffer) TotalRebuffer() units.Seconds { return b.rebuffer }
+
+// Slots returns how many slots this buffer has been advanced.
+func (b *Buffer) Slots() int { return b.slots }
+
+// Advance moves the buffer through one slot of length tau during which
+// `delivered` bytes arrived for a video encoded at `rate` (p_i(n), the
+// required data rate in this slot). It returns the rebuffering time c_i(n)
+// incurred in this slot.
+//
+// Following the paper's shard semantics, the data delivered in this slot
+// becomes playable at the next Advance call; the occupancy consumed by this
+// slot's playback is whatever was buffered at the slot boundary.
+func (b *Buffer) Advance(delivered units.KB, rate units.KBps, tau units.Seconds) (units.Seconds, error) {
+	if delivered < 0 {
+		return 0, fmt.Errorf("playback: negative delivery %v", delivered)
+	}
+	if tau <= 0 {
+		return 0, fmt.Errorf("playback: non-positive slot length %v", tau)
+	}
+	if delivered > 0 && rate <= 0 {
+		return 0, fmt.Errorf("playback: delivery with non-positive rate %v", rate)
+	}
+
+	// Eq. (7): fold in the shard delivered in the previous slot, then age
+	// the buffer by one slot of playback.
+	b.occupancy = maxSec(b.occupancy-tauIfPlaying(b, tau), 0) + b.pending
+
+	// Eq. (8): rebuffering accrues only while the video is still playing.
+	var c units.Seconds
+	if !b.PlaybackComplete() {
+		c = maxSec(tau-b.occupancy, 0)
+		// Playback progresses by however much of the slot had data.
+		played := tau - c
+		remaining := b.duration - b.elapsed
+		if played > remaining {
+			played = remaining
+		}
+		b.elapsed += played
+		b.rebuffer += c
+	}
+
+	// Record this slot's delivery; playable from the next slot (t_i(n)).
+	b.delivered += delivered
+	if delivered > 0 {
+		b.pending = units.Seconds(float64(delivered) / float64(rate))
+		b.deliveredSec += b.pending
+	} else {
+		b.pending = 0
+	}
+	b.slots++
+	return c, nil
+}
+
+// tauIfPlaying returns the playback drain for the slot: a finished session
+// no longer drains its buffer.
+func tauIfPlaying(b *Buffer, tau units.Seconds) units.Seconds {
+	if b.PlaybackComplete() {
+		return 0
+	}
+	return tau
+}
+
+func maxSec(a, b units.Seconds) units.Seconds {
+	if a > b {
+		return a
+	}
+	return b
+}

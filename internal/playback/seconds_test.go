@@ -1,0 +1,108 @@
+package playback
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jointstream/internal/units"
+)
+
+func TestNewSecondsValidation(t *testing.T) {
+	if _, err := NewSeconds(0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := NewSeconds(-5); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestSecondsModeAccessors(t *testing.T) {
+	b, err := NewSeconds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.SecondsMode() {
+		t.Error("SecondsMode false")
+	}
+	byteBuf, _ := New(1000, 10)
+	if byteBuf.SecondsMode() {
+		t.Error("byte-mode buffer reports seconds mode")
+	}
+	if b.DeliveredSeconds() != 0 || b.RemainingSeconds() != 100 {
+		t.Errorf("fresh seconds buffer: delivered=%v remaining=%v",
+			b.DeliveredSeconds(), b.RemainingSeconds())
+	}
+}
+
+func TestSecondsModeDeliveryCompletion(t *testing.T) {
+	b, _ := NewSeconds(10)
+	// Deliver 4 s of content per slot at varying rates.
+	b.Advance(400, 100, 1) // 4 s
+	if b.DeliveryComplete() {
+		t.Error("complete too early")
+	}
+	if got := b.DeliveredSeconds(); got != 4 {
+		t.Errorf("DeliveredSeconds = %v, want 4", got)
+	}
+	b.Advance(1200, 300, 1) // +4 s at a higher rate
+	if got := b.RemainingSeconds(); math.Abs(float64(got)-2) > 1e-9 {
+		t.Errorf("RemainingSeconds = %v, want 2", got)
+	}
+	b.Advance(300, 150, 1) // +2 s
+	if !b.DeliveryComplete() {
+		t.Errorf("not complete after 10 s delivered (got %v)", b.DeliveredSeconds())
+	}
+	if b.RemainingSeconds() != 0 {
+		t.Errorf("RemainingSeconds = %v after completion", b.RemainingSeconds())
+	}
+}
+
+func TestSecondsModePlaybackComplete(t *testing.T) {
+	b, _ := NewSeconds(3)
+	b.Advance(300, 100, 1) // 3 s delivered in slot 0
+	for i := 0; i < 5; i++ {
+		b.Advance(0, 100, 1)
+	}
+	if !b.PlaybackComplete() {
+		t.Errorf("playback incomplete: elapsed=%v occupancy=%v", b.Elapsed(), b.Occupancy())
+	}
+}
+
+// Property: in seconds mode, DeliveredSeconds equals the sum of per-slot
+// delivered/rate and remaining + delivered telescopes to the duration
+// until completion.
+func TestSecondsModeAccountingProperty(t *testing.T) {
+	f := func(chunks []uint8) bool {
+		b, err := NewSeconds(1e9)
+		if err != nil {
+			return false
+		}
+		var wantSec float64
+		for _, c := range chunks {
+			kb := units.KB(c)
+			rate := units.KBps(100 + int(c)%300)
+			if _, err := b.Advance(kb, rate, 1); err != nil {
+				return false
+			}
+			if kb > 0 {
+				wantSec += float64(kb) / float64(rate)
+			}
+		}
+		if math.Abs(float64(b.DeliveredSeconds())-wantSec) > 1e-6 {
+			return false
+		}
+		return math.Abs(float64(b.RemainingSeconds()+b.DeliveredSeconds())-1e9) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteModeBufferTracksDeliveredSecondsToo(t *testing.T) {
+	b, _ := New(1000, 10)
+	b.Advance(200, 100, 1)
+	if got := b.DeliveredSeconds(); got != 2 {
+		t.Errorf("byte-mode DeliveredSeconds = %v, want 2", got)
+	}
+}

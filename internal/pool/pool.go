@@ -1,0 +1,106 @@
+// Package pool provides a small, dependency-free worker pool for fanning
+// independent jobs across CPUs: parameter sweeps in the experiment
+// harness, per-cell simulations in multi-cell deployments, and multi-seed
+// robustness runs. Results preserve submission order, errors cancel the
+// remaining work, and panics in workers are converted to errors instead of
+// crashing the process.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map runs fn over every item of xs using at most workers goroutines and
+// returns the results in input order. The first error (or worker panic)
+// cancels the remaining jobs via the context passed to fn; already-running
+// jobs finish. workers <= 0 selects GOMAXPROCS.
+func Map[T, R any](ctx context.Context, workers int, xs []T, fn func(context.Context, T) (R, error)) ([]R, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("pool: nil function")
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]R, n)
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	worker := func() {
+		defer wg.Done()
+		for i := range jobs {
+			func(i int) {
+				defer func() {
+					if p := recover(); p != nil {
+						setErr(fmt.Errorf("pool: job %d panicked: %v", i, p))
+					}
+				}()
+				r, err := fn(ctx, xs[i])
+				if err != nil {
+					setErr(fmt.Errorf("pool: job %d: %w", i, err))
+					return
+				}
+				results[i] = r
+			}(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach is Map without result collection.
+func ForEach[T any](ctx context.Context, workers int, xs []T, fn func(context.Context, T) error) error {
+	_, err := Map(ctx, workers, xs, func(ctx context.Context, x T) (struct{}, error) {
+		return struct{}{}, fn(ctx, x)
+	})
+	return err
+}

@@ -1,0 +1,195 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	got, err := Map(context.Background(), 8, xs, func(_ context.Context, x int) (int, error) {
+		return x * x, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmptyInput(t *testing.T) {
+	got, err := Map(context.Background(), 4, nil, func(_ context.Context, x int) (int, error) {
+		return x, nil
+	})
+	if err != nil || got != nil {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestMapNilFunction(t *testing.T) {
+	if _, err := Map[int, int](context.Background(), 1, []int{1}, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	got, err := Map(context.Background(), 0, []int{1, 2, 3}, func(_ context.Context, x int) (int, error) {
+		return x + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 4 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestMapActuallyParallel(t *testing.T) {
+	// With 4 workers, 4 jobs that each wait for the others must finish:
+	// sequential execution would deadlock (and the test would time out).
+	var entered atomic.Int32
+	release := make(chan struct{})
+	xs := []int{0, 1, 2, 3}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(context.Background(), 4, xs, func(_ context.Context, x int) (int, error) {
+			if entered.Add(1) == 4 {
+				close(release)
+			}
+			select {
+			case <-release:
+				return x, nil
+			case <-time.After(5 * time.Second):
+				return 0, errors.New("parallelism timeout")
+			}
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not run jobs concurrently")
+	}
+}
+
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	var ran atomic.Int32
+	xs := make([]int, 1000)
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 2, xs, func(ctx context.Context, x int) (int, error) {
+		n := ran.Add(1)
+		if n == 3 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// Cancellation is asynchronous but must stop well short of all jobs.
+	if ran.Load() > 900 {
+		t.Errorf("ran %d jobs after error; cancellation ineffective", ran.Load())
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	_, err := Map(context.Background(), 2, []int{1, 2, 3}, func(_ context.Context, x int) (int, error) {
+		if x == 2 {
+			panic("kaboom")
+		}
+		return x, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("panic not surfaced: %v", err)
+	}
+}
+
+func TestMapRespectsCallerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 2, []int{1, 2, 3}, func(ctx context.Context, x int) (int, error) {
+		return x, nil
+	})
+	if err == nil {
+		t.Error("pre-cancelled context accepted")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	xs := []int64{1, 2, 3, 4, 5}
+	if err := ForEach(context.Background(), 3, xs, func(_ context.Context, x int64) error {
+		sum.Add(x)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 15 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+	boom := errors.New("x")
+	if err := ForEach(context.Background(), 3, xs, func(_ context.Context, x int64) error {
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("ForEach error = %v", err)
+	}
+}
+
+// Property: Map equals the sequential loop for pure functions, at any
+// worker count.
+func TestMapMatchesSequentialProperty(t *testing.T) {
+	f := func(xs []int32, workersRaw uint8) bool {
+		workers := int(workersRaw%8) + 1
+		fn := func(x int32) int64 { return int64(x)*3 - 7 }
+		got, err := Map(context.Background(), workers, xs, func(_ context.Context, x int32) (int64, error) {
+			return fn(x), nil
+		})
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			if got[i] != fn(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMapOverhead(b *testing.B) {
+	xs := make([]int, 64)
+	for i := 0; i < b.N; i++ {
+		_, err := Map(context.Background(), 8, xs, func(_ context.Context, x int) (int, error) {
+			return x + 1, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleMap() {
+	squares, _ := Map(context.Background(), 4, []int{1, 2, 3, 4}, func(_ context.Context, x int) (int, error) {
+		return x * x, nil
+	})
+	fmt.Println(squares)
+	// Output: [1 4 9 16]
+}

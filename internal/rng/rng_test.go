@@ -1,0 +1,262 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	if v := s.Float64(); v < 0 || v >= 1 {
+		t.Errorf("zero-value Source Float64 = %v, want [0,1)", v)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(-110, -50)
+		if v < -110 || v >= -50 {
+			t.Fatalf("Uniform(-110,-50) = %v out of range", v)
+		}
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hi < lo")
+		}
+	}()
+	New(1).Uniform(5, 4)
+}
+
+func TestIntnRangeAndCoverage(t *testing.T) {
+	s := New(11)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("Intn(10) never produced %d in 10000 draws", i)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(123)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestGaussianScaling(t *testing.T) {
+	s := New(5)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Gaussian(-80, 30)
+	}
+	mean := sum / n
+	if math.Abs(mean+80) > 0.5 {
+		t.Errorf("Gaussian(-80,30) mean = %v, want ~-80", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(9)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lambda <= 0")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			count++
+		}
+	}
+	p := float64(count) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v, want ~0.3", p)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(42)
+	a := parent.Split()
+	b := parent.Split()
+	// Children must differ from each other and from the parent stream.
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Errorf("split children matched on %d of 100 draws", matches)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(42).Split()
+	b := New(42).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(21)
+	p := s.Perm(20)
+	if len(p) != 20 {
+		t.Fatalf("Perm(20) length = %d", len(p))
+	}
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm(20) invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: Perm always returns a valid permutation.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Uniform stays within bounds for arbitrary ranges.
+func TestUniformProperty(t *testing.T) {
+	f := func(seed uint64, a, b int16) bool {
+		lo, hi := float64(a), float64(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := New(seed).Uniform(lo, hi)
+		return v >= lo && (v < hi || lo == hi && v == lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Norm()
+	}
+}

@@ -1,0 +1,59 @@
+package sched
+
+import "fmt"
+
+// Planned replays a precomputed per-slot allocation plan — typically the
+// omniscient schedule from internal/oracle — through the live simulator.
+// Slots beyond the plan's horizon allocate nothing. Grants are clamped to
+// the slot's Eq. (1)/(2) limits, so a plan computed against the same
+// radio/capacity configuration replays exactly.
+type Planned struct {
+	plan [][]int
+}
+
+// NewPlanned validates and wraps a plan (slot-major, user-minor).
+func NewPlanned(plan [][]int) (*Planned, error) {
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("planned: empty plan")
+	}
+	for n, row := range plan {
+		for u, a := range row {
+			if a < 0 {
+				return nil, fmt.Errorf("planned: negative grant at slot %d user %d", n, u)
+			}
+		}
+	}
+	return &Planned{plan: plan}, nil
+}
+
+// Name implements Scheduler.
+func (*Planned) Name() string { return "Planned" }
+
+// Allocate implements Scheduler.
+func (p *Planned) Allocate(slot *Slot, alloc []int) {
+	if slot.N < 0 || slot.N >= len(p.plan) {
+		return
+	}
+	row := p.plan[slot.N]
+	remaining := slot.CapacityUnits
+	for i := range alloc {
+		if i >= len(row) {
+			break
+		}
+		u := &slot.Users[i]
+		a := row[i]
+		if !u.Active {
+			a = 0
+		}
+		if a > u.MaxUnits {
+			a = u.MaxUnits
+		}
+		if a > remaining {
+			a = remaining
+		}
+		alloc[i] = a
+		remaining -= a
+	}
+}
+
+var _ Scheduler = (*Planned)(nil)

@@ -1,0 +1,71 @@
+package sched
+
+import "testing"
+
+func TestNewPlannedValidation(t *testing.T) {
+	if _, err := NewPlanned(nil); err == nil {
+		t.Error("empty plan accepted")
+	}
+	if _, err := NewPlanned([][]int{{1, -2}}); err == nil {
+		t.Error("negative grant accepted")
+	}
+}
+
+func TestPlannedReplaysPlan(t *testing.T) {
+	p, err := NewPlanned([][]int{
+		{3, 0},
+		{0, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "Planned" {
+		t.Error("name mismatch")
+	}
+	slot := makeSlot(100, stdUser(400, -60, 10), stdUser(400, -60, 10))
+	alloc := make([]int, 2)
+	p.Allocate(slot, alloc)
+	if alloc[0] != 3 || alloc[1] != 0 {
+		t.Errorf("slot 0 alloc = %v, want [3 0]", alloc)
+	}
+	slot.N = 1
+	alloc = make([]int, 2)
+	p.Allocate(slot, alloc)
+	if alloc[0] != 0 || alloc[1] != 5 {
+		t.Errorf("slot 1 alloc = %v, want [0 5]", alloc)
+	}
+	// Beyond the horizon: nothing.
+	slot.N = 2
+	alloc = []int{9, 9}
+	alloc[0], alloc[1] = 0, 0
+	p.Allocate(slot, alloc)
+	if alloc[0] != 0 || alloc[1] != 0 {
+		t.Errorf("post-horizon alloc = %v", alloc)
+	}
+}
+
+func TestPlannedClampsToSlotLimits(t *testing.T) {
+	p, _ := NewPlanned([][]int{{50, 50}})
+	// Link bound 10 each, capacity 15 total.
+	slot := makeSlot(15, stdUser(400, -60, 10), stdUser(400, -60, 10))
+	alloc := make([]int, 2)
+	p.Allocate(slot, alloc)
+	if err := slot.Validate(alloc); err != nil {
+		t.Errorf("planned allocation violates constraints: %v", err)
+	}
+	if alloc[0] != 10 || alloc[1] != 5 {
+		t.Errorf("alloc = %v, want [10 5]", alloc)
+	}
+}
+
+func TestPlannedSkipsInactive(t *testing.T) {
+	p, _ := NewPlanned([][]int{{4, 4}})
+	u := stdUser(400, -60, 10)
+	u.Active = false
+	slot := makeSlot(100, u, stdUser(400, -60, 10))
+	alloc := make([]int, 2)
+	p.Allocate(slot, alloc)
+	if alloc[0] != 0 {
+		t.Errorf("inactive user allocated %d", alloc[0])
+	}
+}

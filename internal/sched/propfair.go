@@ -1,0 +1,87 @@
+package sched
+
+import "fmt"
+
+// ProportionalFair is the classic cellular downlink scheduler (Kelly 1997;
+// deployed in HSDPA/LTE MACs): each slot users are ranked by the ratio of
+// their instantaneous achievable rate to their exponentially averaged
+// served throughput, and capacity is granted in that order. It maximizes
+// Σ log(throughput) in the long run and is the natural "what the base
+// station would do anyway" reference point between the paper's greedy
+// Default and its fairness-aware RTMA; it is included as an extension
+// baseline (not one of the paper's comparison set).
+type ProportionalFair struct {
+	// tc is the averaging time constant in slots (typically ~1000 ms/τ;
+	// 3GPP implementations use 100 TTIs).
+	tc float64
+	// avg is the per-user average served rate in KB per slot.
+	avg []float64
+}
+
+// NewProportionalFair builds the scheduler with the given averaging time
+// constant in slots (≥ 1).
+func NewProportionalFair(tcSlots float64) (*ProportionalFair, error) {
+	if tcSlots < 1 {
+		return nil, fmt.Errorf("propfair: time constant %v < 1 slot", tcSlots)
+	}
+	return &ProportionalFair{tc: tcSlots}, nil
+}
+
+// Name implements Scheduler.
+func (*ProportionalFair) Name() string { return "PropFair" }
+
+// Allocate implements Scheduler.
+func (p *ProportionalFair) Allocate(slot *Slot, alloc []int) {
+	for len(p.avg) < len(slot.Users) {
+		p.avg = append(p.avg, 0)
+	}
+	// Rank active users by rate/average (Inf for never-served users, who
+	// therefore go first — the standard cold-start behaviour).
+	type cand struct {
+		idx      int
+		priority float64
+	}
+	cands := make([]cand, 0, len(slot.Users))
+	for i := range slot.Users {
+		u := &slot.Users[i]
+		if !u.Active || u.MaxUnits == 0 {
+			continue
+		}
+		inst := float64(u.LinkRate) * float64(slot.Tau)
+		pr := inst
+		if p.avg[i] > 0 {
+			pr = inst / p.avg[i]
+		} else {
+			pr = inst * 1e12 // effectively infinite priority
+		}
+		cands = append(cands, cand{idx: i, priority: pr})
+	}
+	// Insertion sort by priority descending (N is small; stable and
+	// allocation-free).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].priority > cands[j-1].priority; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	remaining := slot.CapacityUnits
+	for _, c := range cands {
+		if remaining == 0 {
+			break
+		}
+		u := &slot.Users[c.idx]
+		a := u.MaxUnits
+		if a > remaining {
+			a = remaining
+		}
+		alloc[c.idx] = a
+		remaining -= a
+	}
+	// Update the served-rate averages with this slot's outcome.
+	w := 1 / p.tc
+	for i := range slot.Users {
+		served := float64(alloc[i]) * float64(slot.Unit)
+		p.avg[i] = (1-w)*p.avg[i] + w*served
+	}
+}
+
+var _ Scheduler = (*ProportionalFair)(nil)

@@ -1,0 +1,148 @@
+// Package sched defines the per-slot scheduling contract of the paper's
+// gateway framework and implements the two proposed algorithms — RTMA
+// (Alg. 1) and EMA (Alg. 2) — together with the five comparison schedulers
+// of the evaluation: Default, Throttling, ON-OFF, SALSA and EStreamer.
+//
+// Each slot the simulator presents a Slot snapshot: the base station's
+// capacity in data units (Definition 1: one unit is δ kilobytes) and one
+// User view per session carrying the cross-layer parameters the paper's
+// Information Collector gathers — signal strength, achievable throughput
+// v(sig), per-byte energy price P(sig), required bit-rate p_i(n), buffer
+// occupancy and RRC tail state. A Scheduler fills in the per-user unit
+// allocation ϕ_i(n), subject to
+//
+//	ϕ_i(n) ≤ ⌊τ·v(sig_i(n))/δ⌋        (Eq. 1, per-user link limit)
+//	Σ_i ϕ_i(n) ≤ ⌊τ·S(n)/δ⌋          (Eq. 2, base-station capacity)
+//
+// The simulator additionally clamps allocations to these constraints, so a
+// buggy scheduler cannot corrupt the physics; tests assert the built-in
+// schedulers never rely on that clamp.
+package sched
+
+import (
+	"fmt"
+
+	"jointstream/internal/units"
+)
+
+// User is the per-session view handed to a Scheduler each slot.
+type User struct {
+	// Index identifies the session; stable across the whole run.
+	Index int
+	// Active reports whether the user currently wants data: the session
+	// has started and its video is not yet fully delivered. Inactive
+	// users must receive zero allocation.
+	Active bool
+	// Sig is the slot's signal strength (constant within a slot, §III-B).
+	Sig units.DBm
+	// LinkRate is v(sig), the maximum achievable throughput this slot.
+	LinkRate units.KBps
+	// EnergyPerKB is P(sig), the per-kilobyte reception cost this slot.
+	EnergyPerKB units.MJ
+	// Rate is p_i(n), the required video data rate this slot.
+	Rate units.KBps
+	// BufferSec is r_i(n), the playback seconds buffered at slot start.
+	BufferSec units.Seconds
+	// RemainingKB is the undelivered remainder of the video.
+	RemainingKB units.KB
+	// TailGap is the time since the user's radio last transferred;
+	// meaningful only when NeverActive is false.
+	TailGap units.Seconds
+	// NeverActive reports that the radio has not transferred yet, so no
+	// tail energy is pending regardless of TailGap.
+	NeverActive bool
+
+	// MaxUnits is the binding per-user limit for this slot, already
+	// combining Eq. (1) with the remaining video size:
+	// min(⌊τ·v/δ⌋, ⌈remaining/δ⌉). Allocations above it are clamped.
+	MaxUnits int
+}
+
+// NeedUnits returns ϕ_need(i) = ⌈τ·p_i(n)/δ⌉, the minimum allocation that
+// sustains one slot of smooth playback (RTMA step 3), capped at MaxUnits.
+func (u *User) NeedUnits(tau units.Seconds, unit units.KB) int {
+	need := ceilDiv(float64(u.Rate)*float64(tau), float64(unit))
+	if need > u.MaxUnits {
+		return u.MaxUnits
+	}
+	return need
+}
+
+// Slot is the full scheduling problem for one time slot.
+type Slot struct {
+	// N is the slot index.
+	N int
+	// Tau is the slot length τ.
+	Tau units.Seconds
+	// Unit is the data-unit (shard) size δ in KB.
+	Unit units.KB
+	// CapacityUnits is ⌊τ·S(n)/δ⌋, the total units the base station can
+	// move this slot (Eq. 2).
+	CapacityUnits int
+	// Users holds one view per session, indexed by User.Index.
+	Users []User
+}
+
+// Scheduler decides the per-slot allocation. Implementations may keep
+// internal per-user state (virtual queues, hysteresis); the simulator
+// guarantees Allocate is called exactly once per slot, in slot order, with
+// len(alloc) == len(slot.Users), alloc zeroed.
+type Scheduler interface {
+	// Name identifies the algorithm in results and tables.
+	Name() string
+	// Allocate writes the data-unit allocation ϕ_i(n) into alloc.
+	Allocate(slot *Slot, alloc []int)
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b, as used by ϕ_need.
+func ceilDiv(a, b float64) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("sched: ceilDiv by non-positive %v", b))
+	}
+	if a <= 0 {
+		return 0
+	}
+	n := int(a / b)
+	if float64(n)*b < a {
+		n++
+	}
+	return n
+}
+
+// floorDiv returns ⌊a/b⌋ for positive b, clamped at 0.
+func floorDiv(a, b float64) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("sched: floorDiv by non-positive %v", b))
+	}
+	if a <= 0 {
+		return 0
+	}
+	return int(a / b)
+}
+
+// Validate checks a finished allocation against Eq. (1) and Eq. (2) and
+// the inactivity rule. The simulator uses it in strict mode; tests use it
+// to prove schedulers respect the constraints without clamping.
+func (s *Slot) Validate(alloc []int) error {
+	if len(alloc) != len(s.Users) {
+		return fmt.Errorf("sched: allocation length %d != %d users", len(alloc), len(s.Users))
+	}
+	total := 0
+	for i, a := range alloc {
+		u := &s.Users[i]
+		if a < 0 {
+			return fmt.Errorf("sched: user %d negative allocation %d", i, a)
+		}
+		if !u.Active && a > 0 {
+			return fmt.Errorf("sched: user %d inactive but allocated %d units", i, a)
+		}
+		if a > u.MaxUnits {
+			return fmt.Errorf("sched: user %d allocation %d exceeds per-user limit %d", i, a, u.MaxUnits)
+		}
+		total += a
+	}
+	if total > s.CapacityUnits {
+		return fmt.Errorf("sched: total allocation %d exceeds capacity %d units", total, s.CapacityUnits)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"testing"
+
+	"jointstream/internal/units"
+)
+
+// makeSlot builds a synthetic slot with the given per-user parameters.
+// All users are active with generous remaining bytes unless modified.
+func makeSlot(capacityUnits int, users ...User) *Slot {
+	s := &Slot{
+		N:             0,
+		Tau:           1,
+		Unit:          100,
+		CapacityUnits: capacityUnits,
+		Users:         users,
+	}
+	for i := range s.Users {
+		s.Users[i].Index = i
+	}
+	return s
+}
+
+// stdUser returns an active user with sensible defaults.
+func stdUser(rate units.KBps, sig units.DBm, maxUnits int) User {
+	return User{
+		Active:      true,
+		Sig:         sig,
+		LinkRate:    units.KBps(65.8*float64(sig) + 7567),
+		EnergyPerKB: units.MJ(-0.167 + 1560/(65.8*float64(sig)+7567)),
+		Rate:        rate,
+		RemainingKB: 1e9,
+		MaxUnits:    maxUnits,
+		NeverActive: true,
+	}
+}
+
+func TestNeedUnits(t *testing.T) {
+	u := User{Rate: 450, MaxUnits: 100}
+	// ceil(450*1/100) = 5
+	if got := u.NeedUnits(1, 100); got != 5 {
+		t.Errorf("NeedUnits = %d, want 5", got)
+	}
+	u.Rate = 400
+	if got := u.NeedUnits(1, 100); got != 4 {
+		t.Errorf("NeedUnits(400) = %d, want 4", got)
+	}
+	u.MaxUnits = 2
+	if got := u.NeedUnits(1, 100); got != 2 {
+		t.Errorf("NeedUnits capped = %d, want 2", got)
+	}
+	u.Rate = 0
+	u.MaxUnits = 100
+	if got := u.NeedUnits(1, 100); got != 0 {
+		t.Errorf("NeedUnits(0) = %d, want 0", got)
+	}
+}
+
+func TestCeilFloorDiv(t *testing.T) {
+	if ceilDiv(450, 100) != 5 || ceilDiv(400, 100) != 4 || ceilDiv(0, 100) != 0 {
+		t.Error("ceilDiv mismatch")
+	}
+	if floorDiv(450, 100) != 4 || floorDiv(400, 100) != 4 || floorDiv(-5, 100) != 0 {
+		t.Error("floorDiv mismatch")
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ceilDiv(1, 0)
+}
+
+func TestValidateAllocation(t *testing.T) {
+	slot := makeSlot(10, stdUser(400, -70, 6), stdUser(400, -70, 6))
+	if err := slot.Validate([]int{4, 4}); err != nil {
+		t.Errorf("valid allocation rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		alloc []int
+	}{
+		{"wrong length", []int{4}},
+		{"negative", []int{-1, 4}},
+		{"over per-user", []int{7, 0}},
+		{"over capacity", []int{6, 6}},
+	}
+	for _, c := range cases {
+		if err := slot.Validate(c.alloc); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	// Inactive user with allocation.
+	slot.Users[1].Active = false
+	if err := slot.Validate([]int{4, 1}); err == nil {
+		t.Error("inactive allocation accepted")
+	}
+}
+
+func TestDefaultGreedyOrder(t *testing.T) {
+	d := NewDefault()
+	slot := makeSlot(10, stdUser(400, -70, 8), stdUser(400, -70, 8), stdUser(400, -70, 8))
+	alloc := make([]int, 3)
+	d.Allocate(slot, alloc)
+	if err := slot.Validate(alloc); err != nil {
+		t.Fatalf("Default violated constraints: %v", err)
+	}
+	// Greedy: user 0 gets its full link bound, user 1 the rest, user 2 nothing.
+	if alloc[0] != 8 || alloc[1] != 2 || alloc[2] != 0 {
+		t.Errorf("alloc = %v, want [8 2 0]", alloc)
+	}
+}
+
+func TestDefaultSkipsInactive(t *testing.T) {
+	d := NewDefault()
+	u0 := stdUser(400, -70, 8)
+	u0.Active = false
+	slot := makeSlot(10, u0, stdUser(400, -70, 8))
+	alloc := make([]int, 2)
+	d.Allocate(slot, alloc)
+	if alloc[0] != 0 {
+		t.Errorf("inactive user allocated %d", alloc[0])
+	}
+	if alloc[1] != 8 {
+		t.Errorf("active user allocated %d, want 8", alloc[1])
+	}
+}
+
+func TestDefaultName(t *testing.T) {
+	if NewDefault().Name() != "Default" {
+		t.Error("name mismatch")
+	}
+}

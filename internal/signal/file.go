@@ -1,0 +1,83 @@
+package signal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"jointstream/internal/units"
+)
+
+// Trace file format: one dBm sample per line (optionally "slot,dBm" CSV
+// pairs), '#' comments and blank lines ignored. This lets measured RSSI
+// traces — e.g. exported from Android's TelephonyManager — drive the
+// simulator in place of the synthetic models.
+
+// WriteTrace exports the first n slots of a trace, one "slot,dBm" pair
+// per line, with a descriptive header comment.
+func WriteTrace(w io.Writer, tr Trace, n int) error {
+	if tr == nil {
+		return fmt.Errorf("signal: nil trace")
+	}
+	if n <= 0 {
+		return fmt.Errorf("signal: non-positive sample count %d", n)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# jointstream signal trace, %d slots, values in dBm\n", n); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(bw, "%d,%.2f\n", i, float64(tr.At(i))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file. Lines may be either a bare dBm value or
+// a "slot,dBm" pair; pairs must appear in slot order starting at 0 with
+// no gaps. Values outside bounds are clamped. At least one sample is
+// required.
+func ReadTrace(r io.Reader, bounds Bounds) (Trace, error) {
+	if err := bounds.validate(); err != nil {
+		return nil, err
+	}
+	var vals []units.DBm
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var raw string
+		if comma := strings.IndexByte(line, ','); comma >= 0 {
+			slotStr := strings.TrimSpace(line[:comma])
+			slot, err := strconv.Atoi(slotStr)
+			if err != nil {
+				return nil, fmt.Errorf("signal: line %d: bad slot %q", lineNo, slotStr)
+			}
+			if slot != len(vals) {
+				return nil, fmt.Errorf("signal: line %d: slot %d out of order (want %d)", lineNo, slot, len(vals))
+			}
+			raw = strings.TrimSpace(line[comma+1:])
+		} else {
+			raw = line
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("signal: line %d: bad value %q", lineNo, raw)
+		}
+		vals = append(vals, bounds.clamp(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("signal: read trace: %w", err)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("signal: empty trace file")
+	}
+	return sliceTrace(vals), nil
+}

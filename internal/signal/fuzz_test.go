@@ -1,0 +1,37 @@
+package signal
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace checks the trace parser never panics and that accepted
+// traces respect the bounds.
+func FuzzReadTrace(f *testing.F) {
+	seeds := []string{
+		"-80\n-85.5\n",
+		"0,-60\n1,-70\n",
+		"# comment\n\n-90\n",
+		"x,-80\n",
+		"0,-80\n2,-90\n",
+		"1e308\n",
+		strings.Repeat("-70\n", 100),
+		"-80",
+		",,\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadTrace(strings.NewReader(in), DefaultBounds)
+		if err != nil {
+			return
+		}
+		for n := 0; n < 16; n++ {
+			v := tr.At(n)
+			if v < DefaultBounds.Min || v > DefaultBounds.Max {
+				t.Fatalf("accepted trace out of bounds at %d: %v", n, v)
+			}
+		}
+	})
+}

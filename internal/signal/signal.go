@@ -1,0 +1,269 @@
+// Package signal models per-user received signal strength (RSSI) over the
+// slotted timeline of the simulator.
+//
+// The paper (§VI) drives its evaluation with a sine-shaped signal in
+// [−110, −50] dBm plus 30 dBm white Gaussian noise, with a distinct phase
+// shift per user. That model is implemented by Sine; additional generators
+// (random walk, Gilbert–Elliott two-state Markov, constant, and replayed
+// slices) are provided so that the algorithms can be exercised under
+// qualitatively different channel dynamics.
+//
+// All generators are deterministic functions of their configuration and an
+// explicit rng.Source, and all clamp their output to a configured dBm
+// range, mirroring the bounded RSSI values a modem reports.
+package signal
+
+import (
+	"fmt"
+	"math"
+
+	"jointstream/internal/rng"
+	"jointstream/internal/units"
+)
+
+// Trace produces the signal strength of one user at each slot. At always
+// returns a value within the trace's configured bounds. Implementations
+// must be deterministic: calling At twice with the same slot returns the
+// same value.
+type Trace interface {
+	// At returns the RSSI for slot n (n >= 0).
+	At(n int) units.DBm
+}
+
+// Bounds is the inclusive dBm range to which generated signals are clamped.
+type Bounds struct {
+	Min, Max units.DBm
+}
+
+// DefaultBounds matches the paper's evaluation range of −110 to −50 dBm.
+var DefaultBounds = Bounds{Min: -110, Max: -50}
+
+func (b Bounds) clamp(v float64) units.DBm {
+	if v < float64(b.Min) {
+		return b.Min
+	}
+	if v > float64(b.Max) {
+		return b.Max
+	}
+	return units.DBm(v)
+}
+
+// Mid returns the center of the range.
+func (b Bounds) Mid() units.DBm { return (b.Min + b.Max) / 2 }
+
+// Amplitude returns half the width of the range.
+func (b Bounds) Amplitude() float64 { return float64(b.Max-b.Min) / 2 }
+
+func (b Bounds) validate() error {
+	if b.Max < b.Min {
+		return fmt.Errorf("signal: bounds max %v < min %v", b.Max, b.Min)
+	}
+	return nil
+}
+
+// SineConfig parameterizes the paper's sine-plus-noise channel model.
+type SineConfig struct {
+	Bounds Bounds
+	// PeriodSlots is the sine period in slots. The paper does not publish a
+	// value; 600 slots (10 minutes at τ=1 s) gives a few full fades per
+	// video session. Must be > 0.
+	PeriodSlots int
+	// Phase is the per-user phase shift in radians.
+	Phase float64
+	// NoiseStdDBm is the standard deviation of the additive white Gaussian
+	// noise. The paper's "30 dBm white Gaussian noise intensity" is treated
+	// as the noise amplitude; we use sigma = intensity/3 by convention so
+	// ~99.7% of deviations stay within the stated intensity. Callers can
+	// set any value, including 0 for a pure sine.
+	NoiseStdDBm float64
+}
+
+// Sine is the paper's channel model: a clamped sine sweep across the dBm
+// range with additive white Gaussian noise. The noise sequence is generated
+// once (lazily, in slot order) so that At is a pure function of the slot.
+type sineTrace struct {
+	cfg   SineConfig
+	noise *noiseSeq
+}
+
+// NewSine builds the sine channel model. An independent child of src seeds
+// the trace's noise stream, so multiple traces built from one parent source
+// have decorrelated noise.
+func NewSine(cfg SineConfig, src *rng.Source) (Trace, error) {
+	if err := cfg.Bounds.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PeriodSlots <= 0 {
+		return nil, fmt.Errorf("signal: sine period must be positive, got %d", cfg.PeriodSlots)
+	}
+	if cfg.NoiseStdDBm < 0 {
+		return nil, fmt.Errorf("signal: negative noise stddev %v", cfg.NoiseStdDBm)
+	}
+	return &sineTrace{cfg: cfg, noise: newNoiseSeq(src.Split())}, nil
+}
+
+func (t *sineTrace) At(n int) units.DBm {
+	if n < 0 {
+		panic(fmt.Sprintf("signal: negative slot %d", n))
+	}
+	b := t.cfg.Bounds
+	base := float64(b.Mid()) + b.Amplitude()*math.Sin(2*math.Pi*float64(n)/float64(t.cfg.PeriodSlots)+t.cfg.Phase)
+	return b.clamp(base + t.cfg.NoiseStdDBm*t.noise.at(n))
+}
+
+// noiseSeq memoizes a stream of standard normal deviates so that At(n) is
+// repeatable regardless of call order.
+type noiseSeq struct {
+	src  *rng.Source
+	vals []float64
+}
+
+func newNoiseSeq(src *rng.Source) *noiseSeq { return &noiseSeq{src: src} }
+
+func (s *noiseSeq) at(n int) float64 {
+	for len(s.vals) <= n {
+		s.vals = append(s.vals, s.src.Norm())
+	}
+	return s.vals[n]
+}
+
+// RandomWalkConfig parameterizes a bounded random-walk channel, a common
+// alternative mobility model: each slot the signal moves by a Gaussian
+// step and reflects off the bounds.
+type RandomWalkConfig struct {
+	Bounds  Bounds
+	Start   units.DBm
+	StepStd float64 // dBm per slot
+}
+
+type randomWalkTrace struct {
+	cfg  RandomWalkConfig
+	src  *rng.Source
+	vals []float64
+}
+
+// NewRandomWalk builds a reflected random-walk trace.
+func NewRandomWalk(cfg RandomWalkConfig, src *rng.Source) (Trace, error) {
+	if err := cfg.Bounds.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StepStd < 0 {
+		return nil, fmt.Errorf("signal: negative step stddev %v", cfg.StepStd)
+	}
+	start := float64(cfg.Bounds.clamp(float64(cfg.Start)))
+	return &randomWalkTrace{cfg: cfg, src: src.Split(), vals: []float64{start}}, nil
+}
+
+func (t *randomWalkTrace) At(n int) units.DBm {
+	if n < 0 {
+		panic(fmt.Sprintf("signal: negative slot %d", n))
+	}
+	for len(t.vals) <= n {
+		next := t.vals[len(t.vals)-1] + t.src.Gaussian(0, t.cfg.StepStd)
+		// Reflect off the bounds instead of clamping so the walk does not
+		// stick to an edge.
+		lo, hi := float64(t.cfg.Bounds.Min), float64(t.cfg.Bounds.Max)
+		for next < lo || next > hi {
+			if next < lo {
+				next = 2*lo - next
+			}
+			if next > hi {
+				next = 2*hi - next
+			}
+		}
+		t.vals = append(t.vals, next)
+	}
+	return units.DBm(t.vals[n])
+}
+
+// GilbertElliottConfig parameterizes a two-state Markov channel: the user
+// is either in a Good state (strong signal) or Bad state (weak signal),
+// with per-slot transition probabilities, plus Gaussian jitter.
+type GilbertElliottConfig struct {
+	Bounds    Bounds
+	Good, Bad units.DBm // state center levels
+	PGoodToBad,
+	PBadToGood float64 // per-slot transition probabilities
+	JitterStd float64 // dBm
+}
+
+type gilbertElliottTrace struct {
+	cfg    GilbertElliottConfig
+	src    *rng.Source
+	states []bool // true = good
+	jitter *noiseSeq
+}
+
+// NewGilbertElliott builds the two-state Markov trace, starting in Good.
+func NewGilbertElliott(cfg GilbertElliottConfig, src *rng.Source) (Trace, error) {
+	if err := cfg.Bounds.validate(); err != nil {
+		return nil, err
+	}
+	for _, p := range []float64{cfg.PGoodToBad, cfg.PBadToGood} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("signal: transition probability %v outside [0,1]", p)
+		}
+	}
+	if cfg.JitterStd < 0 {
+		return nil, fmt.Errorf("signal: negative jitter stddev %v", cfg.JitterStd)
+	}
+	child := src.Split()
+	return &gilbertElliottTrace{
+		cfg:    cfg,
+		src:    child,
+		states: []bool{true},
+		jitter: newNoiseSeq(child.Split()),
+	}, nil
+}
+
+func (t *gilbertElliottTrace) At(n int) units.DBm {
+	if n < 0 {
+		panic(fmt.Sprintf("signal: negative slot %d", n))
+	}
+	for len(t.states) <= n {
+		cur := t.states[len(t.states)-1]
+		if cur {
+			cur = !t.src.Bool(t.cfg.PGoodToBad)
+		} else {
+			cur = t.src.Bool(t.cfg.PBadToGood)
+		}
+		t.states = append(t.states, cur)
+	}
+	level := t.cfg.Bad
+	if t.states[n] {
+		level = t.cfg.Good
+	}
+	return t.cfg.Bounds.clamp(float64(level) + t.cfg.JitterStd*t.jitter.at(n))
+}
+
+// Constant returns a trace pinned at the given level (clamped to b).
+func Constant(level units.DBm, b Bounds) Trace {
+	return constantTrace(b.clamp(float64(level)))
+}
+
+type constantTrace units.DBm
+
+func (c constantTrace) At(int) units.DBm { return units.DBm(c) }
+
+// FromSlice replays a recorded trace; slots beyond the end repeat the last
+// value (an empty slice is invalid).
+func FromSlice(vals []units.DBm) (Trace, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("signal: empty trace")
+	}
+	cp := make([]units.DBm, len(vals))
+	copy(cp, vals)
+	return sliceTrace(cp), nil
+}
+
+type sliceTrace []units.DBm
+
+func (s sliceTrace) At(n int) units.DBm {
+	if n < 0 {
+		panic(fmt.Sprintf("signal: negative slot %d", n))
+	}
+	if n >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[n]
+}

@@ -1,0 +1,45 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseKB checks the size parser never panics and, when it accepts an
+// input, returns a non-negative finite value.
+func FuzzParseKB(f *testing.F) {
+	for _, seed := range []string{
+		"350MB", "1.5GB", "200KB", "500B", "42", " 7 ", "", "abc",
+		"-3MB", "1e9", "+;", "MB", "0x10", "9999999999999GB",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseKB(s)
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			t.Fatalf("ParseKB(%q) = %v < 0 without error", s, float64(v))
+		}
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("ParseKB(%q) = NaN without error", s)
+		}
+	})
+}
+
+// FuzzParseKBps mirrors FuzzParseKB for the rate parser.
+func FuzzParseKBps(f *testing.F) {
+	for _, seed := range []string{"450KB/s", "2MB/s", "300ps", "x/s", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseKBps(s)
+		if err != nil {
+			return
+		}
+		if v < 0 || math.IsNaN(float64(v)) {
+			t.Fatalf("ParseKBps(%q) = %v without error", s, float64(v))
+		}
+	})
+}

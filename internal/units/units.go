@@ -1,0 +1,182 @@
+// Package units defines the physical quantities used throughout the
+// simulator: data sizes, data rates, energy, power, signal strength and
+// time. The simulator core works in a small set of canonical units —
+// kilobytes, kilobytes per second, millijoules, milliwatts, dBm and
+// seconds — matching the units used by the paper's models (Eq. 3, 4, 24).
+//
+// The types are defined (not aliased) float64s so that mixing, say, a rate
+// into an energy expression is a compile error at API boundaries, while
+// still allowing cheap conversion inside numeric kernels.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// KB is a data size in kilobytes (1 KB = 1000 bytes in this codebase,
+// matching the KB/s throughput fit of Eq. 24).
+type KB float64
+
+// KBps is a data rate in kilobytes per second.
+type KBps float64
+
+// MJ is energy in millijoules.
+type MJ float64
+
+// MW is power in milliwatts (1 mW sustained for 1 s = 1 mJ).
+type MW float64
+
+// DBm is a received signal strength indicator value in dBm. Typical
+// cellular values are negative, e.g. −50 dBm (strong) to −110 dBm (weak).
+type DBm float64
+
+// Seconds is a duration in seconds. The simulator is slotted, with slot
+// length τ expressed in Seconds.
+type Seconds float64
+
+// Common size multiples, expressed in KB.
+const (
+	Kilobyte KB = 1
+	Megabyte KB = 1000
+	Gigabyte KB = 1000 * 1000
+)
+
+// Bytes returns the size in bytes.
+func (k KB) Bytes() float64 { return float64(k) * 1000 }
+
+// MB returns the size in megabytes.
+func (k KB) MB() float64 { return float64(k) / 1000 }
+
+// Over returns the time needed to move k kilobytes at rate r.
+// It returns +Inf-free results: a non-positive rate yields 0 duration for
+// zero size and a very large duration otherwise is avoided by the caller;
+// Over panics on r <= 0 with k > 0 because that indicates a modeling bug.
+func (k KB) Over(r KBps) Seconds {
+	if k == 0 {
+		return 0
+	}
+	if r <= 0 {
+		panic(fmt.Sprintf("units: %v KB over non-positive rate %v", float64(k), float64(r)))
+	}
+	return Seconds(float64(k) / float64(r))
+}
+
+// Times returns the amount of data moved at rate r for duration d.
+func (r KBps) Times(d Seconds) KB { return KB(float64(r) * float64(d)) }
+
+// Energy returns the energy consumed by drawing power p for duration d.
+func (p MW) Energy(d Seconds) MJ { return MJ(float64(p) * float64(d)) }
+
+// Joules returns the energy in joules.
+func (e MJ) Joules() float64 { return float64(e) / 1000 }
+
+// PerKB divides a total energy by a data amount, yielding mJ/KB, the unit
+// of the paper's per-byte power model P(sig).
+func (e MJ) PerKB(k KB) float64 {
+	if k == 0 {
+		return 0
+	}
+	return float64(e) / float64(k)
+}
+
+// String implementations render quantities with sensible precision and
+// unit suffixes, so simulator output is self-describing.
+
+func (k KB) String() string {
+	switch {
+	case k >= Gigabyte:
+		return trimFloat(float64(k)/float64(Gigabyte)) + "GB"
+	case k >= Megabyte:
+		return trimFloat(float64(k)/float64(Megabyte)) + "MB"
+	default:
+		return trimFloat(float64(k)) + "KB"
+	}
+}
+
+func (r KBps) String() string {
+	if r >= KBps(Megabyte) {
+		return trimFloat(float64(r)/1000) + "MB/s"
+	}
+	return trimFloat(float64(r)) + "KB/s"
+}
+
+func (e MJ) String() string {
+	switch {
+	case e >= 1e6:
+		return trimFloat(float64(e)/1e6) + "kJ"
+	case e >= 1e3:
+		return trimFloat(float64(e)/1e3) + "J"
+	default:
+		return trimFloat(float64(e)) + "mJ"
+	}
+}
+
+func (p MW) String() string {
+	if p >= 1000 {
+		return trimFloat(float64(p)/1000) + "W"
+	}
+	return trimFloat(float64(p)) + "mW"
+}
+
+func (s DBm) String() string { return trimFloat(float64(s)) + "dBm" }
+
+func (d Seconds) String() string {
+	switch {
+	case d >= 3600:
+		return trimFloat(float64(d)/3600) + "h"
+	case d >= 60:
+		return trimFloat(float64(d)/60) + "min"
+	default:
+		return trimFloat(float64(d)) + "s"
+	}
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// ParseKB parses a size string such as "350MB", "1.5GB" or "200KB".
+// A bare number is interpreted as kilobytes.
+func ParseKB(s string) (KB, error) {
+	s = strings.TrimSpace(s)
+	mult := KB(1)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(upper, "GB"):
+		mult, s = Gigabyte, s[:len(s)-2]
+	case strings.HasSuffix(upper, "MB"):
+		mult, s = Megabyte, s[:len(s)-2]
+	case strings.HasSuffix(upper, "KB"):
+		mult, s = Kilobyte, s[:len(s)-2]
+	case strings.HasSuffix(upper, "B"):
+		mult, s = Kilobyte/1000, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse size %q: %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	return KB(v) * mult, nil
+}
+
+// ParseKBps parses a rate string such as "450KB/s", "2MB/s" or a bare
+// number of KB/s.
+func ParseKBps(s string) (KBps, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "/s"), "ps")
+	k, err := ParseKB(s)
+	if err != nil {
+		return 0, err
+	}
+	return KBps(k), nil
+}
