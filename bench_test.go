@@ -163,18 +163,37 @@ func BenchmarkRTMAAllocate40Users(b *testing.B) {
 	}
 }
 
+// BenchmarkEMAAllocate40Users measures the monotone-deque DP at the
+// paper's capacity (⌊τS/δ⌋ = 205 units); BenchmarkEMAAllocateRef40Users
+// is the paper-literal quadratic DP on the same slot, so the speedup is
+// visible from one `-bench 'EMAAllocate'` run.
 func BenchmarkEMAAllocate40Users(b *testing.B) {
 	em, err := sched.NewEMA(sched.EMAConfig{V: 0.2, RRC: rrc.Paper3G()})
 	if err != nil {
 		b.Fatal(err)
 	}
-	slot, alloc := benchSlot(40, 200)
+	slot, alloc := benchSlot(40, 205)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := range alloc {
 			alloc[j] = 0
 		}
 		em.Allocate(slot, alloc)
+	}
+}
+
+func BenchmarkEMAAllocateRef40Users(b *testing.B) {
+	em, err := sched.NewEMA(sched.EMAConfig{V: 0.2, RRC: rrc.Paper3G()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot, alloc := benchSlot(40, 205)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range alloc {
+			alloc[j] = 0
+		}
+		em.AllocateRef(slot, alloc)
 	}
 }
 

@@ -10,6 +10,14 @@
 //
 // Output is a set of aligned ASCII tables, one per figure, in the same
 // units the paper plots.
+//
+// The figures depend on the EMA scheduler's fast monotone-deque DP; its
+// correctness harness lives in internal/simtest. Before trusting numbers
+// from a modified scheduler, run the 30-second fuzz smoke alongside the
+// deterministic suite:
+//
+//	go test ./...
+//	go test -fuzz=FuzzEMAAllocate -fuzztime=30s ./internal/simtest
 package main
 
 import (

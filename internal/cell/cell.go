@@ -260,6 +260,11 @@ type Simulator struct {
 	cfg   Config
 	sched sched.Scheduler
 	users []*userState
+
+	// Per-slot scratch, allocated once in New and reused by every tick:
+	// the scheduler's cross-layer view and the allocation vector.
+	slot  sched.Slot
+	alloc []int
 }
 
 // New builds a Simulator. The sessions' buffers and RRC machines are
@@ -305,7 +310,18 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 			u.abrCtl = ctl
 		}
 		sim.users[i] = u
+		// Extend the session's lazily memoized stochastic sequences to the
+		// slot horizon up front: the per-slot loop then reads them without
+		// ever growing a memo (and without the append-doubling garbage).
+		sess.Prewarm(cfg.MaxSlots)
 	}
+	sim.slot = sched.Slot{
+		Tau:           cfg.Tau,
+		Unit:          cfg.Unit,
+		CapacityUnits: floorUnits(float64(cfg.Capacity)*float64(cfg.Tau), float64(cfg.Unit)),
+		Users:         make([]sched.User, len(sessions)),
+	}
+	sim.alloc = make([]int, len(sessions))
 	return sim, nil
 }
 
@@ -315,7 +331,10 @@ func (s *Simulator) Run() (*Result, error) {
 	res := &Result{
 		SchedulerName: s.sched.Name(),
 		Users:         make([]UserTotals, n),
-		PerSlot:       make([]SlotTotals, 0, 1024),
+		// Pre-size every recorded series from the slot horizon: runs that
+		// finish early waste a little capacity, runs that go the distance
+		// never reallocate mid-tick.
+		PerSlot: make([]SlotTotals, 0, s.cfg.MaxSlots),
 	}
 	for i := range res.Users {
 		res.Users[i].CompletionSlot = -1
@@ -323,16 +342,14 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.cfg.RecordPerUserSlots {
 		res.RebufferSamples = make([][]float64, n)
 		res.EnergySamples = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			res.RebufferSamples[i] = make([]float64, 0, s.cfg.MaxSlots)
+			res.EnergySamples[i] = make([]float64, 0, s.cfg.MaxSlots)
+		}
 	}
 
-	capacityUnits := floorUnits(float64(s.cfg.Capacity)*float64(s.cfg.Tau), float64(s.cfg.Unit))
-	slot := sched.Slot{
-		Tau:           s.cfg.Tau,
-		Unit:          s.cfg.Unit,
-		CapacityUnits: capacityUnits,
-		Users:         make([]sched.User, n),
-	}
-	alloc := make([]int, n)
+	slot := &s.slot
+	alloc := s.alloc
 
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
 		slot.N = slotIdx
@@ -394,8 +411,8 @@ func (s *Simulator) Run() (*Result, error) {
 			break
 		}
 
-		s.sched.Allocate(&slot, alloc)
-		clamps, err := s.enforce(&slot, alloc)
+		s.sched.Allocate(slot, alloc)
+		clamps, err := s.enforce(slot, alloc)
 		if err != nil {
 			return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
 		}

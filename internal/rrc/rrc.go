@@ -121,6 +121,35 @@ func (p Profile) TailEnergy(t units.Seconds) units.MJ {
 	}
 }
 
+// TailIncrement returns the tail energy burned between gap and gap+tau
+// seconds after the last transfer: TailEnergy(gap+tau) − TailEnergy(gap).
+// It short-circuits to zero once the tail is fully drained (gap beyond
+// T1+T2, or beyond the Fast Dormancy release), which is the common case
+// for long-idle radios and keeps hot-path callers (the simulator's
+// Machine.IdleSlot, EMA's per-slot skip cost) off the closed form.
+func (p Profile) TailIncrement(gap, tau units.Seconds) units.MJ {
+	if gap < 0 {
+		panic(fmt.Sprintf("rrc: negative gap %v", gap))
+	}
+	if tau < 0 {
+		panic(fmt.Sprintf("rrc: negative slot length %v", tau))
+	}
+	if gap >= p.TailDrainedAfter() {
+		return 0
+	}
+	return p.TailEnergy(gap+tau) - p.TailEnergy(gap)
+}
+
+// TailDrainedAfter returns the gap beyond which the tail burns no further
+// energy: T1+T2, truncated by Fast Dormancy when enabled.
+func (p Profile) TailDrainedAfter() units.Seconds {
+	drained := p.T1 + p.T2
+	if p.Dormancy > 0 && p.Dormancy < drained {
+		drained = p.Dormancy
+	}
+	return drained
+}
+
 // MaxTailEnergy is the total energy of one complete tail (t → ∞ in Eq. 4),
 // accounting for Fast Dormancy truncation if enabled.
 func (p Profile) MaxTailEnergy() units.MJ {
@@ -206,7 +235,7 @@ func (m *Machine) IdleSlot(tau units.Seconds) units.MJ {
 	if !m.everActive {
 		return 0
 	}
-	before := m.profile.TailEnergy(m.gap)
+	inc := m.profile.TailIncrement(m.gap, tau)
 	m.gap += tau
-	return m.profile.TailEnergy(m.gap) - before
+	return inc
 }

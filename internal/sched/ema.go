@@ -22,10 +22,18 @@ import (
 //
 //	min Σ_i f(i, ϕ_i) ,  f(i, ϕ) = V·E_i(n, ϕ) + PC_i(n)·(τ − ϕδ/p_i)
 //
-// over the separable capacity constraint Σϕ_i ≤ ⌊τS/δ⌋, using the exact
-// dynamic program of Alg. 2 (a multi-choice knapsack). E_i(n, ϕ) follows
+// over the separable capacity constraint Σϕ_i ≤ ⌊τS/δ⌋. E_i(n, ϕ) follows
 // Eq. (5): transmission energy P(sig)·ϕδ when ϕ > 0, otherwise the tail
 // energy the radio would burn idling through this slot.
+//
+// The per-slot subproblem is the multi-choice knapsack of Alg. 2. Because
+// f(i, ϕ) is affine in ϕ for ϕ ≥ 1 (only the ϕ = 0 tail branch breaks the
+// line), the DP's inner minimization is a sliding-window minimum and the
+// default solver runDP runs in O(users × capacity) with a monotone deque —
+// see DESIGN.md §4, "Fast EMA DP". The paper-literal O(users × capacity²)
+// DP is kept as runDPRef and exposed through AllocateRef; the two are
+// differentially tested (internal/simtest, TestEMAFastMatchesRef) to
+// return objective-identical allocations.
 //
 // The weight V trades energy against rebuffering: Theorem 1 bounds
 // PE ≤ E* + B/V and PC ≤ (B + V·E*)/ε, so larger V saves more energy at
@@ -38,12 +46,25 @@ type EMA struct {
 
 	queues []units.Seconds // PC_i virtual queues, grown on demand
 
+	// tailDrained caches rrc.TailDrainedAfter so the common "tail long
+	// gone" skip cost is a single compare; tailMemo caches the nonzero
+	// E(gap+τ)−E(gap) increments, which repeat across slots because gaps
+	// advance in multiples of τ. The memo stays bounded: only gaps inside
+	// the tail window are inserted.
+	tailDrained units.Seconds
+	tailMemo    map[tailKey]float64
+
 	// DP scratch, reused across slots.
 	cost   []float64 // a[·]: best objective for exactly M units used
 	next   []float64
 	choice [][]uint16 // g[i][M]: units granted to i-th DP user at state M
 	dpUser []int      // indices of users participating in the DP
+	dqJ    []int32    // deque scratch: candidate predecessor states j
+	dqG    []float64  // deque scratch: g[j] = cost[j] − perUnit·j
 }
+
+// tailKey identifies one memoized tail-energy increment.
+type tailKey struct{ gap, tau units.Seconds }
 
 // EMAConfig configures EMA.
 type EMAConfig struct {
@@ -61,7 +82,7 @@ func NewEMA(cfg EMAConfig) (*EMA, error) {
 	if err := cfg.RRC.Validate(); err != nil {
 		return nil, err
 	}
-	return &EMA{v: cfg.V, rrc: cfg.RRC}, nil
+	return &EMA{v: cfg.V, rrc: cfg.RRC, tailDrained: cfg.RRC.TailDrainedAfter()}, nil
 }
 
 // Name implements Scheduler.
@@ -69,6 +90,11 @@ func (*EMA) Name() string { return "EMA" }
 
 // V returns the Lyapunov weight.
 func (e *EMA) V() float64 { return e.v }
+
+// RRC returns the tail-energy profile the skip cost is priced with.
+// internal/simtest uses it to recompute the Eq. (21–22) objective from
+// public state when differentially testing the DP fast path.
+func (e *EMA) RRC() rrc.Profile { return e.rrc }
 
 // Queue returns the current virtual queue PC_i for user i (0 for users
 // never seen). Exposed for tests and the bound analysis in
@@ -80,11 +106,43 @@ func (e *EMA) Queue(i int) units.Seconds {
 	return e.queues[i]
 }
 
+// SetQueue overrides the virtual queue PC_i for user i, growing the queue
+// vector as needed. It exists for test harnesses (internal/simtest, the
+// fuzz targets) that need to place the scheduler in an arbitrary queue
+// state before a differential step; production callers never need it.
+func (e *EMA) SetQueue(i int, q units.Seconds) {
+	if i < 0 {
+		return
+	}
+	e.ensureQueues(i + 1)
+	e.queues[i] = q
+}
+
 // ensureQueues grows the queue vector to cover n users.
 func (e *EMA) ensureQueues(n int) {
 	for len(e.queues) < n {
 		e.queues = append(e.queues, 0)
 	}
+}
+
+// tailIncrement returns E_tail(gap+τ) − E_tail(gap), memoized. Gaps at or
+// beyond the drained point short-circuit to zero without touching the map,
+// which both serves the common long-idle case and bounds the memo to the
+// O(T1+T2 / τ) distinct in-tail gaps.
+func (e *EMA) tailIncrement(gap, tau units.Seconds) float64 {
+	if gap >= e.tailDrained {
+		return 0
+	}
+	k := tailKey{gap, tau}
+	if v, ok := e.tailMemo[k]; ok {
+		return v
+	}
+	v := float64(e.rrc.TailIncrement(gap, tau))
+	if e.tailMemo == nil {
+		e.tailMemo = make(map[tailKey]float64)
+	}
+	e.tailMemo[k] = v
+	return v
 }
 
 // slotCost evaluates f(i, ϕ) for one user.
@@ -95,7 +153,7 @@ func (e *EMA) slotCost(slot *Slot, u *User, phi int) float64 {
 	} else if !u.NeverActive {
 		// Tail energy the radio burns idling through this slot (Eq. 4,
 		// incremental form).
-		energy = float64(e.rrc.TailEnergy(u.TailGap+slot.Tau) - e.rrc.TailEnergy(u.TailGap))
+		energy = e.tailIncrement(u.TailGap, slot.Tau)
 	}
 	t := 0.0
 	if phi > 0 {
@@ -104,8 +162,21 @@ func (e *EMA) slotCost(slot *Slot, u *User, phi int) float64 {
 	return e.v*energy + float64(e.queues[u.Index])*(float64(slot.Tau)-t)
 }
 
-// Allocate implements Scheduler following Alg. 2.
+// Allocate implements Scheduler following Alg. 2, solving the per-slot
+// subproblem with the O(users × capacity) monotone-deque DP.
 func (e *EMA) Allocate(slot *Slot, alloc []int) {
+	e.allocate(slot, alloc, (*EMA).runDP)
+}
+
+// AllocateRef is Allocate with the paper-literal quadratic DP (runDPRef)
+// in place of the deque fast path. It exists as the reference arm of the
+// differential tests and fuzz targets in internal/simtest; both paths
+// must produce allocations with identical objective value.
+func (e *EMA) AllocateRef(slot *Slot, alloc []int) {
+	e.allocate(slot, alloc, (*EMA).runDPRef)
+}
+
+func (e *EMA) allocate(slot *Slot, alloc []int, dp func(*EMA, *Slot, []int, int)) {
 	users := slot.Users
 	e.ensureQueues(len(users))
 
@@ -122,7 +193,7 @@ func (e *EMA) Allocate(slot *Slot, alloc []int) {
 
 	capacity := slot.CapacityUnits
 	if len(e.dpUser) > 0 && capacity > 0 {
-		e.runDP(slot, alloc, capacity)
+		dp(e, slot, alloc, capacity)
 	}
 
 	// Eq. (16): advance every active user's virtual queue using the slot's
@@ -140,13 +211,32 @@ func (e *EMA) Allocate(slot *Slot, alloc []int) {
 	}
 }
 
-// runDP solves min Σ f(i, ϕ_i) s.t. Σϕ_i ≤ capacity exactly, then writes
-// the argmin allocation. cost[M] holds the best objective over the users
-// processed so far when exactly M units have been granted.
-func (e *EMA) runDP(slot *Slot, alloc []int, capacity int) {
-	users := slot.Users
-	n := len(e.dpUser)
+// userLine holds the affine decomposition of f(i, ϕ) for one DP user:
+// f(i, 0) = skip, and f(i, ϕ) = base + perUnit·ϕ for ϕ ≥ 1.
+type userLine struct {
+	skip, base, perUnit float64
+	maxPhi              int
+}
 
+// line decomposes user idx's slot cost for the DP solvers.
+func (e *EMA) line(slot *Slot, idx, capacity int) userLine {
+	u := &slot.Users[idx]
+	maxPhi := u.MaxUnits
+	if maxPhi > capacity {
+		maxPhi = capacity
+	}
+	return userLine{
+		skip: e.slotCost(slot, u, 0),
+		base: float64(e.queues[u.Index]) * float64(slot.Tau),
+		perUnit: e.v*float64(u.EnergyPerKB)*float64(slot.Unit) -
+			float64(e.queues[u.Index])*float64(slot.Unit)/float64(u.Rate),
+		maxPhi: maxPhi,
+	}
+}
+
+// prepareDP sizes the shared DP scratch and sets the border condition:
+// zero users processed, exactly M units used is feasible only for M = 0.
+func (e *EMA) prepareDP(n, capacity int) {
 	e.cost = resize(e.cost, capacity+1)
 	e.next = resize(e.next, capacity+1)
 	if cap(e.choice) < n {
@@ -156,37 +246,117 @@ func (e *EMA) runDP(slot *Slot, alloc []int, capacity int) {
 	for k := range e.choice {
 		e.choice[k] = resizeU16(e.choice[k], capacity+1)
 	}
-
-	const inf = math.MaxFloat64
-	// Border: zero users, exactly M units used is feasible only for M=0.
 	e.cost[0] = 0
 	for m := 1; m <= capacity; m++ {
-		e.cost[m] = inf
+		e.cost[m] = math.MaxFloat64
 	}
+}
 
-	for k, idx := range e.dpUser {
-		u := &users[idx]
-		maxPhi := u.MaxUnits
-		if maxPhi > capacity {
-			maxPhi = capacity
+// finishDP picks the total allocation minimizing the objective (step 15)
+// and backtracks the per-user grants (steps 16–18).
+func (e *EMA) finishDP(alloc []int, n, capacity int) {
+	bestM, bestCost := 0, math.MaxFloat64
+	for m := 0; m <= capacity; m++ {
+		if e.cost[m] < bestCost {
+			bestCost, bestM = e.cost[m], m
 		}
-		// Precompute f(i, ϕ) for ϕ = 0..maxPhi. f is affine in ϕ except
-		// for the ϕ=0 tail jump, but we keep the general evaluation: it is
-		// cheap and stays correct for arbitrary cost shapes.
-		skip := e.slotCost(slot, u, 0)
-		perUnit := e.v*float64(u.EnergyPerKB)*float64(slot.Unit) -
-			float64(e.queues[u.Index])*float64(slot.Unit)/float64(u.Rate)
-		base := float64(e.queues[u.Index]) * float64(slot.Tau)
+	}
+	for k := n - 1; k >= 0; k-- {
+		phi := int(e.choice[k][bestM])
+		alloc[e.dpUser[k]] = phi
+		bestM -= phi
+	}
+}
+
+// runDP solves min Σ f(i, ϕ_i) s.t. Σϕ_i ≤ capacity exactly, in
+// O(n × capacity), then writes the argmin allocation.
+//
+// For each user the transition is
+//
+//	next[m] = min( cost[m] + skip,
+//	               min_{1 ≤ ϕ ≤ min(maxPhi, m)} cost[m−ϕ] + base + perUnit·ϕ )
+//
+// and substituting j = m−ϕ turns the inner min into
+//
+//	base + perUnit·m + min_{j ∈ [m−maxPhi, m−1]} (cost[j] − perUnit·j),
+//
+// a sliding-window minimum over g[j] = cost[j] − perUnit·j. The window
+// advances with m, so a monotone deque answers every query in amortized
+// O(1): each state j is pushed and popped at most once per user. The
+// deque prefers the largest j (smallest ϕ) on ties in g, matching
+// runDPRef's smallest-ϕ tie-breaking. Unreachable states (cost = +Inf)
+// are never pushed, preserving the reference's exact infeasibility
+// semantics.
+func (e *EMA) runDP(slot *Slot, alloc []int, capacity int) {
+	n := len(e.dpUser)
+	e.prepareDP(n, capacity)
+	e.dqJ = resizeI32(e.dqJ, capacity+1)
+	e.dqG = resize(e.dqG, capacity+1)
+
+	const inf = math.MaxFloat64
+	for k, idx := range e.dpUser {
+		l := e.line(slot, idx, capacity)
+		choice := e.choice[k]
+
+		head, tail := 0, 0
+		for m := 0; m <= capacity; m++ {
+			if m > 0 {
+				// State j = m−1 enters the window (ϕ = 1 is always
+				// within maxPhi ≥ 1); stale states leave at the front.
+				if prev := e.cost[m-1]; prev < inf {
+					g := prev - l.perUnit*float64(m-1)
+					for tail > head && e.dqG[tail-1] >= g {
+						tail--
+					}
+					e.dqJ[tail] = int32(m - 1)
+					e.dqG[tail] = g
+					tail++
+				}
+				for tail > head && int(e.dqJ[head]) < m-l.maxPhi {
+					head++
+				}
+			}
+			best := inf
+			var bestPhi uint16
+			if e.cost[m] < inf {
+				best = e.cost[m] + l.skip
+			}
+			if tail > head {
+				if c := l.base + l.perUnit*float64(m) + e.dqG[head]; c < best {
+					best = c
+					bestPhi = uint16(m - int(e.dqJ[head]))
+				}
+			}
+			e.next[m] = best
+			choice[m] = bestPhi
+		}
+		e.cost, e.next = e.next, e.cost
+	}
+	e.finishDP(alloc, n, capacity)
+}
+
+// runDPRef is the paper-literal O(n × capacity × maxPhi) dynamic program
+// of Alg. 2, kept verbatim as the reference arm of the differential tests:
+// it evaluates every ϕ branch explicitly, so it stays correct for
+// arbitrary (non-affine) cost shapes and gates the deque fast path.
+func (e *EMA) runDPRef(slot *Slot, alloc []int, capacity int) {
+	n := len(e.dpUser)
+	e.prepareDP(n, capacity)
+
+	const inf = math.MaxFloat64
+	for k, idx := range e.dpUser {
+		l := e.line(slot, idx, capacity)
+		choice := e.choice[k]
 
 		for m := 0; m <= capacity; m++ {
 			best := inf
 			var bestPhi uint16
 			// ϕ = 0 branch.
 			if e.cost[m] < inf {
-				best = e.cost[m] + skip
+				best = e.cost[m] + l.skip
 			}
 			// ϕ ≥ 1 branches: f(ϕ) = base + perUnit·ϕ.
-			hi := maxPhi
+			hi := l.maxPhi
 			if hi > m {
 				hi = m
 			}
@@ -195,31 +365,18 @@ func (e *EMA) runDP(slot *Slot, alloc []int, capacity int) {
 				if prev >= inf {
 					continue
 				}
-				c := prev + base + perUnit*float64(phi)
+				c := prev + l.base + l.perUnit*float64(phi)
 				if c < best {
 					best = c
 					bestPhi = uint16(phi)
 				}
 			}
 			e.next[m] = best
-			e.choice[k][m] = bestPhi
+			choice[m] = bestPhi
 		}
 		e.cost, e.next = e.next, e.cost
 	}
-
-	// Step 15: the total allocation minimizing the objective.
-	bestM, bestCost := 0, inf
-	for m := 0; m <= capacity; m++ {
-		if e.cost[m] < bestCost {
-			bestCost, bestM = e.cost[m], m
-		}
-	}
-	// Steps 16–18: backtrack per-user grants.
-	for k := n - 1; k >= 0; k-- {
-		phi := int(e.choice[k][bestM])
-		alloc[e.dpUser[k]] = phi
-		bestM -= phi
-	}
+	e.finishDP(alloc, n, capacity)
 }
 
 func resize(s []float64, n int) []float64 {
@@ -232,6 +389,13 @@ func resize(s []float64, n int) []float64 {
 func resizeU16(s []uint16, n int) []uint16 {
 	if cap(s) < n {
 		return make([]uint16, n)
+	}
+	return s[:n]
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
 	return s[:n]
 }

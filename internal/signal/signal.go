@@ -30,6 +30,17 @@ type Trace interface {
 	At(n int) units.DBm
 }
 
+// Prewarmer is implemented by traces that memoize their stochastic
+// sequence lazily. Prewarm(slots) extends the memo to cover slots
+// [0, slots) with a single exactly-sized allocation, so hot callers (the
+// simulator's per-slot loop) never pay the append-doubling churn of
+// growing the memo one slot at a time. Prewarming never changes the
+// values a trace returns — the sequence is generated in the same slot
+// order either way.
+type Prewarmer interface {
+	Prewarm(slots int)
+}
+
 // Bounds is the inclusive dBm range to which generated signals are clamped.
 type Bounds struct {
 	Min, Max units.DBm
@@ -127,6 +138,22 @@ func (s *noiseSeq) at(n int) float64 {
 	return s.vals[n]
 }
 
+// grow extends the memo to n values with one exactly-sized allocation.
+func (s *noiseSeq) grow(n int) {
+	if n <= len(s.vals) {
+		return
+	}
+	if cap(s.vals) < n {
+		vals := make([]float64, len(s.vals), n)
+		copy(vals, s.vals)
+		s.vals = vals
+	}
+	s.at(n - 1)
+}
+
+// Prewarm implements Prewarmer.
+func (t *sineTrace) Prewarm(slots int) { t.noise.grow(slots) }
+
 // RandomWalkConfig parameterizes a bounded random-walk channel, a common
 // alternative mobility model: each slot the signal moves by a Gaussian
 // step and reflects off the bounds.
@@ -174,6 +201,19 @@ func (t *randomWalkTrace) At(n int) units.DBm {
 		t.vals = append(t.vals, next)
 	}
 	return units.DBm(t.vals[n])
+}
+
+// Prewarm implements Prewarmer.
+func (t *randomWalkTrace) Prewarm(slots int) {
+	if slots <= len(t.vals) {
+		return
+	}
+	if cap(t.vals) < slots {
+		vals := make([]float64, len(t.vals), slots)
+		copy(vals, t.vals)
+		t.vals = vals
+	}
+	t.At(slots - 1)
 }
 
 // GilbertElliottConfig parameterizes a two-state Markov channel: the user
@@ -234,6 +274,19 @@ func (t *gilbertElliottTrace) At(n int) units.DBm {
 		level = t.cfg.Good
 	}
 	return t.cfg.Bounds.clamp(float64(level) + t.cfg.JitterStd*t.jitter.at(n))
+}
+
+// Prewarm implements Prewarmer.
+func (t *gilbertElliottTrace) Prewarm(slots int) {
+	if slots > len(t.states) && cap(t.states) < slots {
+		states := make([]bool, len(t.states), slots)
+		copy(states, t.states)
+		t.states = states
+	}
+	t.jitter.grow(slots)
+	if slots > 0 {
+		t.At(slots - 1)
+	}
 }
 
 // Constant returns a trace pinned at the given level (clamped to b).

@@ -1,0 +1,108 @@
+package simtest
+
+import (
+	"fmt"
+
+	"jointstream/internal/radio"
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// RandomUser draws one scheduler-facing user view with the paper's 3G
+// radio pricing its channel: signal uniform in [−110, −50] dBm, required
+// rate uniform in [100, 700] KB/s, random buffer occupancy and RRC tail
+// state. Roughly one user in eight is inactive (with a nonzero link
+// bound, so "inactive ⇒ zero allocation" is actually exercised), and one
+// in sixteen has a zero link bound.
+func RandomUser(src *rng.Source, index int) sched.User {
+	m := radio.Paper3G()
+	sig := units.DBm(src.Uniform(-110, -50))
+	link := m.Throughput.Throughput(sig)
+	u := sched.User{
+		Index:       index,
+		Active:      true,
+		Sig:         sig,
+		LinkRate:    link,
+		EnergyPerKB: m.Power.EnergyPerKB(sig),
+		Rate:        units.KBps(src.Uniform(100, 700)),
+		BufferSec:   units.Seconds(src.Uniform(0, 45)),
+		NeverActive: true,
+		MaxUnits:    1 + src.Intn(40),
+	}
+	if src.Bool(0.5) {
+		u.NeverActive = false
+		u.TailGap = units.Seconds(src.Uniform(0, 10))
+	}
+	if src.Bool(0.0625) {
+		u.MaxUnits = 0
+	}
+	if src.Bool(0.125) {
+		u.Active = false
+	}
+	u.RemainingKB = units.KB(float64(u.MaxUnits)*100 + src.Uniform(0, 1e6))
+	return u
+}
+
+// RandomSlot draws a scheduling problem with n users and the given
+// capacity in units (τ = 1 s, δ = 100 KB, the paper's defaults).
+func RandomSlot(src *rng.Source, n, capacity int) *sched.Slot {
+	s := &sched.Slot{
+		Tau:           1,
+		Unit:          100,
+		CapacityUnits: capacity,
+		Users:         make([]sched.User, n),
+	}
+	for i := range s.Users {
+		s.Users[i] = RandomUser(src, i)
+	}
+	return s
+}
+
+// PermuteSlot returns the slot with users reordered by perm and Index
+// fields relabeled to positions, exactly as the simulator would present
+// the same physical users in a different order. perm must be a
+// permutation of [0, len(slot.Users)).
+func PermuteSlot(slot *sched.Slot, perm []int) (*sched.Slot, error) {
+	if len(perm) != len(slot.Users) {
+		return nil, fmt.Errorf("simtest: permutation length %d != %d users", len(perm), len(slot.Users))
+	}
+	seen := make([]bool, len(perm))
+	out := &sched.Slot{
+		N:             slot.N,
+		Tau:           slot.Tau,
+		Unit:          slot.Unit,
+		CapacityUnits: slot.CapacityUnits,
+		Users:         make([]sched.User, len(slot.Users)),
+	}
+	for pos, from := range perm {
+		if from < 0 || from >= len(perm) || seen[from] {
+			return nil, fmt.Errorf("simtest: invalid permutation %v", perm)
+		}
+		seen[from] = true
+		out.Users[pos] = slot.Users[from]
+		out.Users[pos].Index = pos
+	}
+	return out, nil
+}
+
+// TotalUnits sums an allocation.
+func TotalUnits(alloc []int) int {
+	total := 0
+	for _, a := range alloc {
+		total += a
+	}
+	return total
+}
+
+// SmallWorkload generates a miniature but fully paper-shaped workload —
+// sine channels with noise, uniform sizes and rates — scaled down so a
+// full simulation finishes in milliseconds. Deterministic in seed.
+func SmallWorkload(seed uint64, users int) ([]*workload.Session, error) {
+	cfg := workload.PaperDefaults(users)
+	cfg.SizeMin = 2 * units.Megabyte
+	cfg.SizeMax = 5 * units.Megabyte
+	cfg.Signal.PeriodSlots = 60
+	return workload.Generate(cfg, rng.New(seed))
+}

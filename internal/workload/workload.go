@@ -55,10 +55,38 @@ func (s *Session) RateAt(n int) units.KBps {
 	return s.rates.at(n, s.BaseRate, s.RateJitter)
 }
 
+// Prewarm extends the session's lazily memoized stochastic sequences —
+// the signal trace's noise stream and the VBR rate draws — to cover the
+// first `slots` slots with one exactly-sized allocation each. The
+// simulator calls it with its slot horizon so the per-slot loop never
+// grows a memo incrementally; the values produced are identical with or
+// without prewarming.
+func (s *Session) Prewarm(slots int) {
+	if p, ok := s.Signal.(signal.Prewarmer); ok {
+		p.Prewarm(slots)
+	}
+	if s.rates != nil && slots > 0 {
+		s.rates.grow(slots, s.BaseRate, s.RateJitter)
+	}
+}
+
 // rateSeq memoizes per-slot rate draws so RateAt is repeatable.
 type rateSeq struct {
 	src  *rng.Source
 	vals []units.KBps
+}
+
+// grow extends the memo to n values with one exactly-sized allocation.
+func (r *rateSeq) grow(n int, base, jitter units.KBps) {
+	if n <= len(r.vals) {
+		return
+	}
+	if cap(r.vals) < n {
+		vals := make([]units.KBps, len(r.vals), n)
+		copy(vals, r.vals)
+		r.vals = vals
+	}
+	r.at(n-1, base, jitter)
 }
 
 func (r *rateSeq) at(n int, base, jitter units.KBps) units.KBps {
