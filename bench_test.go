@@ -217,6 +217,102 @@ func BenchmarkSimulatorSlotThroughput(b *testing.B) {
 	}
 }
 
+// --- large-N tick benchmarks (sharded engine) ------------------------
+
+// benchTickSessions caches workloads per user count so sub-benchmarks
+// and reruns don't regenerate 100k sine traces; sessions are immutable
+// demand descriptors, so sharing them across simulators is safe.
+var benchTickSessions = map[int][]*workload.Session{}
+
+func tickSessions(b *testing.B, users int) []*workload.Session {
+	b.Helper()
+	if wl, ok := benchTickSessions[users]; ok {
+		return wl
+	}
+	wl, err := workload.Generate(workload.PaperDefaults(users), rng.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTickSessions[users] = wl
+	return wl
+}
+
+// benchTick measures the tick path at cell scale N: paper-sized videos
+// never complete within the horizon, so every slot pays the full
+// prepare/schedule/commit cost over N live users. Workers=1 is the
+// serial engine; Workers=0 lets the engine use every core. The extra
+// "ns/slot" metric divides out the horizon so the N tiers compare
+// directly despite their different MaxSlots.
+func benchTick(b *testing.B, users, slots, workers int) {
+	wl := tickSessions(b, users)
+	cfg := cell.PaperConfig()
+	cfg.MaxSlots = slots
+	cfg.RunFullHorizon = true
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := cell.New(cfg, wl, sched.NewDefault())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(slots), "ns/slot")
+}
+
+func BenchmarkTickN1k(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTick(b, 1_000, 256, 1) })
+	b.Run("sharded", func(b *testing.B) { benchTick(b, 1_000, 256, 0) })
+}
+
+func BenchmarkTickN10k(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTick(b, 10_000, 64, 1) })
+	b.Run("sharded", func(b *testing.B) { benchTick(b, 10_000, 64, 0) })
+}
+
+func BenchmarkTickN100k(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTick(b, 100_000, 16, 1) })
+	b.Run("sharded", func(b *testing.B) { benchTick(b, 100_000, 16, 0) })
+}
+
+// benchAllocLargeN measures one scheduler's Allocate at large N with the
+// active list the engine would hand it (everyone active).
+func benchAllocLargeN(b *testing.B, s sched.Scheduler, n int) {
+	b.Helper()
+	slot, alloc := benchSlot(n, 5*n)
+	act := make([]int, n)
+	for i := range act {
+		act[i] = i
+	}
+	slot.ActiveList = act
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range alloc {
+			alloc[j] = 0
+		}
+		s.Allocate(slot, alloc)
+	}
+}
+
+func BenchmarkDefaultAllocate10kUsers(b *testing.B) {
+	benchAllocLargeN(b, sched.NewDefault(), 10_000)
+}
+
+// BenchmarkRTMAAllocate10kUsers exercises the precomputed-key sort and
+// the compacting water-filling rounds at two hundred fifty times the
+// paper's N.
+func BenchmarkRTMAAllocate10kUsers(b *testing.B) {
+	rt, err := sched.NewRTMA(sched.RTMAConfig{
+		Budget: 950, Radio: cell.PaperConfig().Radio, RRC: rrc.Paper3G(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAllocLargeN(b, rt, 10_000)
+}
+
 // --- ablation benches (DESIGN.md, Design choices) --------------------
 
 // BenchmarkAblationUnitSize sweeps the data-unit size δ, the main knob of

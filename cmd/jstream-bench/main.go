@@ -44,8 +44,28 @@ func main() {
 		htmlOut    = flag.String("html", "", "also render the regenerated figures as an HTML report to this file")
 		diffBase   = flag.String("diff", "", "compare a fresh run against this baseline JSON export and report drift")
 		diffTol    = flag.Float64("tol", 0.001, "relative tolerance for -diff")
+		tickOut    = flag.String("tick", "", "benchmark the tick path at large N and write a JSON report to this file")
+		tickDiff   = flag.String("tickdiff", "", "re-measure the tick path and gate on this baseline JSON report")
+		tickTol    = flag.Float64("ticktol", 0.25, "relative tolerance on normalized tick ratios for -tickdiff")
+		tickUsers  = flag.String("tickusers", "1000,10000", "comma-separated cell sizes N for -tick/-tickdiff")
+		tickSlots  = flag.Int("tickslots", 0, "override the per-tier slot horizon for -tick/-tickdiff (0 scales with N)")
+		tickReps   = flag.Int("tickreps", 3, "repetitions per tick configuration (best is kept)")
 	)
 	flag.Parse()
+	if *tickOut != "" {
+		if err := runTick(*tickOut, *tickUsers, *tickSlots, *tickReps); err != nil {
+			fmt.Fprintln(os.Stderr, "jstream-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tickDiff != "" {
+		if err := runTickDiff(*tickDiff, *tickUsers, *tickSlots, *tickReps, *tickTol); err != nil {
+			fmt.Fprintln(os.Stderr, "jstream-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ext != "" {
 		if err := runExt(*ext, *quick, *seed, *seeds); err != nil {
 			fmt.Fprintln(os.Stderr, "jstream-bench:", err)

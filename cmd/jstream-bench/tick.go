@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/workload"
+)
+
+// This file implements the tick-path benchmark mode: -tick measures the
+// sharded engine's per-slot cost at large N and writes a JSON report
+// (results/BENCH_tick.json is the checked-in baseline), -tickdiff
+// compares a fresh measurement against such a baseline.
+//
+// Raw ns/slot numbers are machine-bound, so the diff normalizes every
+// entry by its own report's serial smallest-N entry before comparing:
+// the ratios say "how much more expensive is tier X than the serial 1k
+// tier on this machine", which transfers across hardware. A code change
+// that slows the tick path inflates the fresh ratios and fails the gate.
+
+// tickEntry is one measured (users, workers) configuration. Arm tags
+// the configuration independently of the resolved worker count, which
+// collapses to 1 on single-core machines.
+type tickEntry struct {
+	Users     int     `json:"users"`
+	Arm       string  `json:"arm"`     // "serial" (workers=1) or "parallel" (workers=GOMAXPROCS)
+	Workers   int     `json:"workers"` // resolved count actually used
+	Slots     int     `json:"slots"`
+	NsPerSlot float64 `json:"ns_per_slot"`
+	// Speedup is serial ns/slot over this entry's, for the same N.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// tickReport is the JSON document -tick writes.
+type tickReport struct {
+	Cores      int         `json:"cores"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	GoVersion  string      `json:"go_version"`
+	Scheduler  string      `json:"scheduler"`
+	Reps       int         `json:"reps"`
+	Entries    []tickEntry `json:"entries"`
+}
+
+// tickSlotsFor scales the horizon down as N grows so every tier costs
+// roughly the same wall time: 1k → 256 slots, 10k → 64, 100k → 16.
+func tickSlotsFor(users, override int) int {
+	if override > 0 {
+		return override
+	}
+	s := 640_000 / users
+	if s < 16 {
+		s = 16
+	}
+	if s > 256 {
+		s = 256
+	}
+	return s
+}
+
+// measureTick builds and runs one simulator per rep and keeps the best
+// (smallest) ns/slot, the standard way to strip scheduler jitter from a
+// throughput measurement.
+func measureTick(userTiers []int, slotOverride, reps int) (*tickReport, error) {
+	rep := &tickReport{
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scheduler:  "Default",
+		Reps:       reps,
+	}
+	for _, users := range userTiers {
+		sessions, err := workload.Generate(workload.PaperDefaults(users), rng.New(42))
+		if err != nil {
+			return nil, fmt.Errorf("tick: N=%d workload: %w", users, err)
+		}
+		slots := tickSlotsFor(users, slotOverride)
+		var serial float64
+		for _, arm := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
+			best, err := bestNsPerSlot(sessions, slots, arm.workers, reps)
+			if err != nil {
+				return nil, err
+			}
+			e := tickEntry{Users: users, Arm: arm.name, Workers: arm.workers, Slots: slots, NsPerSlot: best}
+			if arm.name == "serial" {
+				serial = best
+			} else if best > 0 {
+				e.Speedup = serial / best
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	return rep, nil
+}
+
+func bestNsPerSlot(sessions []*workload.Session, slots, workers, reps int) (float64, error) {
+	cfg := cell.PaperConfig()
+	cfg.MaxSlots = slots
+	cfg.RunFullHorizon = true // paper-sized videos: every slot pays full N
+	cfg.Workers = workers
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		sim, err := cell.New(cfg, sessions, sched.NewDefault())
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := sim.Run(); err != nil {
+			return 0, err
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(slots)
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// parseTickUsers parses the -tickusers CSV.
+func parseTickUsers(csv string) ([]int, error) {
+	var tiers []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("tick: bad user tier %q", f)
+		}
+		tiers = append(tiers, n)
+	}
+	sort.Ints(tiers)
+	return tiers, nil
+}
+
+// runTick measures and writes the report, echoing a table to stdout.
+func runTick(outPath, usersCSV string, slotOverride, reps int) error {
+	tiers, err := parseTickUsers(usersCSV)
+	if err != nil {
+		return err
+	}
+	rep, err := measureTick(tiers, slotOverride, reps)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("tick benchmark (%d cores, GOMAXPROCS=%d, best of %d):\n",
+		rep.Cores, rep.GoMaxProcs, rep.Reps)
+	for _, e := range rep.Entries {
+		line := fmt.Sprintf("  N=%-7d %-8s workers=%-2d slots=%-4d %12.0f ns/slot", e.Users, e.Arm, e.Workers, e.Slots, e.NsPerSlot)
+		if e.Speedup > 0 {
+			line += fmt.Sprintf("  (%.2fx vs serial)", e.Speedup)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("report written to %s\n", outPath)
+	return nil
+}
+
+// runTickDiff re-measures and gates on the normalized ratios.
+func runTickDiff(basePath, usersCSV string, slotOverride, reps int, tol float64) error {
+	f, err := os.Open(basePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var base tickReport
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		return fmt.Errorf("tick: baseline %s: %w", basePath, err)
+	}
+	baseNorm, err := normalizeTick(&base)
+	if err != nil {
+		return fmt.Errorf("tick: baseline %s: %w", basePath, err)
+	}
+
+	tiers, err := parseTickUsers(usersCSV)
+	if err != nil {
+		return err
+	}
+	fresh, err := measureTick(tiers, slotOverride, reps)
+	if err != nil {
+		return err
+	}
+	freshNorm, err := normalizeTick(fresh)
+	if err != nil {
+		return err
+	}
+
+	var regressions []string
+	for key, got := range freshNorm {
+		want, ok := baseNorm[key]
+		if !ok {
+			continue // tier not in the baseline; nothing to gate on
+		}
+		fmt.Printf("  %-22s ratio %.3f (baseline %.3f)\n", key, got, want)
+		if got > want*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: normalized cost %.3f exceeds baseline %.3f by more than %.0f%%",
+					key, got, want, tol*100))
+		}
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Println("REGRESSION:", r)
+		}
+		return fmt.Errorf("%d tick regressions against %s", len(regressions), basePath)
+	}
+	fmt.Printf("tick path within %.0f%% of %s\n", tol*100, basePath)
+	return nil
+}
+
+// normalizeTick divides every entry's ns/slot by the report's serial
+// smallest-N entry, keyed "N=<users>/<arm>" (the resolved parallel
+// worker count differs across machines, so the key only distinguishes
+// the arms).
+func normalizeTick(rep *tickReport) (map[string]float64, error) {
+	ref := 0.0
+	minUsers := 0
+	for _, e := range rep.Entries {
+		if e.Arm != "serial" && e.Workers != 1 {
+			continue
+		}
+		if minUsers == 0 || e.Users < minUsers {
+			minUsers, ref = e.Users, e.NsPerSlot
+		}
+	}
+	if ref <= 0 {
+		return nil, fmt.Errorf("no serial reference entry")
+	}
+	norm := make(map[string]float64, len(rep.Entries))
+	for _, e := range rep.Entries {
+		arm := e.Arm
+		if arm == "" { // pre-arm baseline files
+			arm = "parallel"
+			if e.Workers == 1 {
+				arm = "serial"
+			}
+		}
+		norm[fmt.Sprintf("N=%d/%s", e.Users, arm)] = e.NsPerSlot / ref
+	}
+	return norm, nil
+}

@@ -9,6 +9,8 @@ package cell
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 
 	"jointstream/internal/abr"
 	"jointstream/internal/playback"
@@ -49,6 +51,18 @@ type Config struct {
 	// occupancy, and the video becomes a fixed content duration rather
 	// than a fixed byte size.
 	ABR *abr.Config
+	// Workers bounds the goroutines of the tick path's prepare and commit
+	// phases (and of session prewarming): 0 selects GOMAXPROCS, 1 forces
+	// the serial path. The phases reduce per-shard partial sums in shard
+	// order, so any worker count produces a byte-identical Result — see
+	// DESIGN.md §4, "Sharded tick path".
+	Workers int
+	// ShardSize overrides the per-shard user count of the tick path's
+	// shard layout (0 selects the default of 256). The shard layout — a
+	// function of the live-user count only, never of Workers — is the
+	// only thing that affects floating-point summation grouping, so tests
+	// shrink it to exercise multi-shard reduction at small N.
+	ShardSize int
 }
 
 // PaperConfig returns the §VI defaults: τ = 1 s, S = 20 MB/s, 10000-slot
@@ -80,6 +94,12 @@ func (c Config) Validate() error {
 	}
 	if c.Radio.Throughput == nil || c.Radio.Power == nil {
 		return fmt.Errorf("cell: radio model not fully specified")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("cell: negative worker count %d", c.Workers)
+	}
+	if c.ShardSize < 0 {
+		return fmt.Errorf("cell: negative shard size %d", c.ShardSize)
 	}
 	if c.ABR != nil {
 		if err := c.ABR.Validate(); err != nil {
@@ -157,6 +177,55 @@ type Result struct {
 	// ClampEvents counts scheduler outputs the simulator had to clamp to
 	// satisfy Eq. (1)/(2); always 0 for the built-in schedulers.
 	ClampEvents int
+
+	// agg caches the run-level totals behind the metric accessors so
+	// repeated calls (the experiment harness reads PE/PC/TotalEnergy many
+	// times per figure) stop re-scanning Users. Nil until Finalize runs;
+	// the accessors fall back to a scan, so hand-built Results keep
+	// working without it.
+	agg *resultAgg
+}
+
+// resultAgg holds the Users-derived totals Finalize caches.
+type resultAgg struct {
+	energy      units.MJ
+	tailEnergy  units.MJ
+	transEnergy units.MJ
+	rebuffer    units.Seconds
+	activeSlots int
+}
+
+// aggregate scans Users once, accumulating each total in index order —
+// the same addition sequence the unmemoized accessors used, so cached
+// and scanned values are bit-identical.
+func aggregate(users []UserTotals) resultAgg {
+	var a resultAgg
+	for _, u := range users {
+		a.energy += u.Energy()
+		a.tailEnergy += u.TailEnergy
+		a.transEnergy += u.TransEnergy
+		a.rebuffer += u.Rebuffer
+		a.activeSlots += u.ActiveSlots
+	}
+	return a
+}
+
+// Finalize computes and caches the run-level totals the metric accessors
+// serve. Run calls it on every result it returns; callers that build a
+// Result by hand, or mutate Users afterwards, may call it (again) to
+// refresh the cache.
+func (r *Result) Finalize() {
+	a := aggregate(r.Users)
+	r.agg = &a
+}
+
+// totals returns the cached aggregate, or scans Users when Finalize has
+// not run.
+func (r *Result) totals() resultAgg {
+	if r.agg != nil {
+		return *r.agg
+	}
+	return aggregate(r.Users)
 }
 
 // PE returns the paper's average energy metric PE(Γ) = ΣΣE/(NΓ) in mJ.
@@ -164,11 +233,7 @@ func (r *Result) PE() units.MJ {
 	if len(r.Users) == 0 || r.Slots == 0 {
 		return 0
 	}
-	var sum units.MJ
-	for _, u := range r.Users {
-		sum += u.Energy()
-	}
-	return sum / units.MJ(len(r.Users)*r.Slots)
+	return r.totals().energy / units.MJ(len(r.Users)*r.Slots)
 }
 
 // PC returns the paper's average rebuffering metric PC(Γ) = ΣΣc/(NΓ) in
@@ -177,29 +242,17 @@ func (r *Result) PC() units.Seconds {
 	if len(r.Users) == 0 || r.Slots == 0 {
 		return 0
 	}
-	var sum units.Seconds
-	for _, u := range r.Users {
-		sum += u.Rebuffer
-	}
-	return sum / units.Seconds(float64(len(r.Users)*r.Slots))
+	return r.totals().rebuffer / units.Seconds(float64(len(r.Users)*r.Slots))
 }
 
 // TotalEnergy returns the summed energy of all users (mJ).
 func (r *Result) TotalEnergy() units.MJ {
-	var sum units.MJ
-	for _, u := range r.Users {
-		sum += u.Energy()
-	}
-	return sum
+	return r.totals().energy
 }
 
 // TotalTailEnergy returns the summed tail energy of all users (mJ).
 func (r *Result) TotalTailEnergy() units.MJ {
-	var sum units.MJ
-	for _, u := range r.Users {
-		sum += u.TailEnergy
-	}
-	return sum
+	return r.totals().tailEnergy
 }
 
 // TransEnergyPerActiveSlot returns the mean transmission energy per
@@ -207,25 +260,16 @@ func (r *Result) TotalTailEnergy() units.MJ {
 // The experiment harness uses it as the Eq. (12) reference energy
 // E_Default when deriving RTMA's budget Φ = α·E_Default.
 func (r *Result) TransEnergyPerActiveSlot() units.MJ {
-	active := 0
-	var sum units.MJ
-	for _, u := range r.Users {
-		sum += u.TransEnergy
-		active += u.ActiveSlots
-	}
-	if active == 0 {
+	a := r.totals()
+	if a.activeSlots == 0 {
 		return 0
 	}
-	return sum / units.MJ(active)
+	return a.transEnergy / units.MJ(a.activeSlots)
 }
 
 // TotalRebuffer returns the summed stall time of all users.
 func (r *Result) TotalRebuffer() units.Seconds {
-	var sum units.Seconds
-	for _, u := range r.Users {
-		sum += u.Rebuffer
-	}
-	return sum
+	return r.totals().rebuffer
 }
 
 // MeanRebufferPerUser returns TotalRebuffer / N.
@@ -253,7 +297,18 @@ type userState struct {
 	// prevRate is the last playing slot's selected rate, for switch
 	// counting; 0 until the first playing slot.
 	prevRate units.KBps
+	// retired marks a user the engine has dropped from the live list:
+	// playback and delivery are complete and the RRC tail is drained, so
+	// every remaining slot would contribute exactly zero to every total.
+	retired bool
 }
+
+// defaultShardSize is the tick path's per-shard user count when
+// Config.ShardSize is zero: small enough to load-balance across workers
+// at 10k+ users, large enough that the paper-scale runs (N ≤ 40) stay a
+// single shard and therefore reproduce the historical serial summation
+// bit for bit.
+const defaultShardSize = 256
 
 // Simulator runs one scheduler over one workload.
 type Simulator struct {
@@ -265,6 +320,20 @@ type Simulator struct {
 	// the scheduler's cross-layer view and the allocation vector.
 	slot  sched.Slot
 	alloc []int
+
+	// Engine state for the sharded active-list tick path (Run).
+	workers   int   // resolved Config.Workers (0 → GOMAXPROCS)
+	shardSize int   // resolved Config.ShardSize (0 → defaultShardSize)
+	live      []int // started, unretired users, ascending index
+	pending   []int // not-yet-started users, ordered by (StartSlot, index)
+	// unfinished counts users that keep the run going: not started yet,
+	// or started with playback incomplete. Zero means the old full-scan
+	// loop's allDone condition holds.
+	unfinished int
+	shardAct   [][]int     // per-shard active-index segments (prepare output)
+	shardAcc   []slotAccum // per-shard partial sums (commit output)
+	activeBuf  []int       // backing for slot.ActiveList, rebuilt per slot
+	consumed   bool        // Run/RunReference already executed
 }
 
 // New builds a Simulator. The sessions' buffers and RRC machines are
@@ -310,23 +379,51 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 			u.abrCtl = ctl
 		}
 		sim.users[i] = u
-		// Extend the session's lazily memoized stochastic sequences to the
-		// slot horizon up front: the per-slot loop then reads them without
-		// ever growing a memo (and without the append-doubling garbage).
-		sess.Prewarm(cfg.MaxSlots)
 	}
+	sim.workers = cfg.Workers
+	if sim.workers == 0 {
+		sim.workers = runtime.GOMAXPROCS(0)
+	}
+	sim.shardSize = cfg.ShardSize
+	if sim.shardSize == 0 {
+		sim.shardSize = defaultShardSize
+	}
+	// Extend every session's lazily memoized stochastic sequences to the
+	// slot horizon up front: the per-slot loop then reads them without
+	// ever growing a memo (and without the append-doubling garbage), and
+	// the sharded prepare phase can read them concurrently because no
+	// memo grows mid-run.
+	workload.PrewarmAll(sim.workers, sessions, cfg.MaxSlots)
 	sim.slot = sched.Slot{
 		Tau:           cfg.Tau,
 		Unit:          cfg.Unit,
 		CapacityUnits: floorUnits(float64(cfg.Capacity)*float64(cfg.Tau), float64(cfg.Unit)),
 		Users:         make([]sched.User, len(sessions)),
 	}
+	for i := range sim.slot.Users {
+		sim.slot.Users[i] = sched.User{Index: i}
+	}
 	sim.alloc = make([]int, len(sessions))
+	// Admission order: users enter the live list as the clock reaches
+	// their StartSlot, ties resolved by index (the stable sort keeps the
+	// generator's index order within a slot).
+	sim.pending = make([]int, len(sessions))
+	for i := range sim.pending {
+		sim.pending[i] = i
+	}
+	sort.SliceStable(sim.pending, func(a, b int) bool {
+		return sessions[sim.pending[a]].StartSlot < sessions[sim.pending[b]].StartSlot
+	})
+	sim.live = make([]int, 0, len(sessions))
+	// Non-nil even when empty, so an all-idle slot still presents an
+	// engine-maintained (empty) active list instead of the nil fallback.
+	sim.activeBuf = make([]int, 0, len(sessions))
+	sim.unfinished = len(sessions)
 	return sim, nil
 }
 
-// Run executes the simulation and returns the collected result.
-func (s *Simulator) Run() (*Result, error) {
+// newResult allocates the result shell both engines fill in.
+func (s *Simulator) newResult() *Result {
 	n := len(s.users)
 	res := &Result{
 		SchedulerName: s.sched.Name(),
@@ -347,154 +444,170 @@ func (s *Simulator) Run() (*Result, error) {
 			res.EnergySamples[i] = make([]float64, 0, s.cfg.MaxSlots)
 		}
 	}
+	return res
+}
 
-	slot := &s.slot
-	alloc := s.alloc
-
-	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
-		slot.N = slotIdx
-		allDone := true
-		for i, u := range s.users {
-			sess := u.session
-			started := slotIdx >= sess.StartSlot
-			active := started && !u.buf.DeliveryComplete()
-			if !started || !u.buf.PlaybackComplete() {
-				allDone = false
-			}
-			sig := sess.Signal.At(slotIdx)
-			link := s.cfg.Radio.Throughput.Throughput(sig)
-			// Required rate and remaining demand: fixed-rate sessions use
-			// the workload's rate and byte remainder; ABR sessions pick
-			// the rate from the player's buffer, and the remainder is the
-			// undelivered content time priced at that rate.
-			rate := sess.RateAt(slotIdx)
-			remainingKB := u.buf.RemainingBytes()
-			if u.abrCtl != nil {
-				if active {
-					rate = u.abrCtl.Pick(u.buf.Occupancy())
-				} else {
-					rate = u.abrCtl.Current()
-				}
-				// The player requests at most its buffer-cap headroom of
-				// content per slot (plus the slot being played), and never
-				// more than the remaining video.
-				wantSec := s.cfg.ABR.WantSeconds(u.buf.Occupancy()) + s.cfg.Tau
-				if rem := u.buf.RemainingSeconds(); wantSec > rem {
-					wantSec = rem
-				}
-				remainingKB = units.KB(float64(wantSec) * float64(rate))
-			}
-			maxUnits := floorUnits(float64(link)*float64(s.cfg.Tau), float64(s.cfg.Unit))
-			remUnits := ceilUnits(float64(remainingKB), float64(s.cfg.Unit))
-			if maxUnits > remUnits {
-				maxUnits = remUnits
-			}
-			if !active {
-				maxUnits = 0
-			}
-			slot.Users[i] = sched.User{
-				Index:       i,
-				Active:      active,
-				Sig:         sig,
-				LinkRate:    link,
-				EnergyPerKB: s.cfg.Radio.Power.EnergyPerKB(sig),
-				Rate:        rate,
-				BufferSec:   u.buf.Occupancy(),
-				RemainingKB: remainingKB,
-				TailGap:     u.machine.Gap(),
-				NeverActive: !u.machine.EverActive(),
-				MaxUnits:    maxUnits,
-			}
-			alloc[i] = 0
-		}
-		if allDone && !s.cfg.RunFullHorizon && slotIdx > 0 {
-			break
-		}
-
-		s.sched.Allocate(slot, alloc)
-		clamps, err := s.enforce(slot, alloc)
-		if err != nil {
-			return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
-		}
-		res.ClampEvents += clamps
-
-		st := SlotTotals{}
-		var fairNum, fairDen float64 // Jain index accumulators
-		var fairCount int
-		for i, u := range s.users {
-			view := &slot.Users[i]
-			deliveredKB := units.KB(float64(alloc[i]) * float64(s.cfg.Unit))
-			// Cap the last shard at the true remainder so byte accounting
-			// stays exact even though units are discrete.
-			if deliveredKB > view.RemainingKB {
-				deliveredKB = view.RemainingKB
-			}
-
-			// Energy per Eq. (5): transmission when scheduled, tail when not.
-			var slotEnergy units.MJ
-			if alloc[i] > 0 {
-				slotEnergy = s.cfg.Radio.TransmissionEnergy(view.Sig, deliveredKB)
-				res.Users[i].TransEnergy += slotEnergy
-				res.Users[i].ActiveSlots++
-				u.machine.Transfer()
-			} else {
-				slotEnergy = u.machine.IdleSlot(s.cfg.Tau)
-				res.Users[i].TailEnergy += slotEnergy
-			}
-			res.Users[i].DeliveredKB += deliveredKB
-
-			// Buffer dynamics only for users that have started.
-			var c units.Seconds
-			if slotIdx >= u.session.StartSlot {
-				wasComplete := u.buf.PlaybackComplete()
-				c, err = u.buf.Advance(deliveredKB, view.Rate, s.cfg.Tau)
-				if err != nil {
-					return nil, fmt.Errorf("cell: user %d slot %d: %w", i, slotIdx, err)
-				}
-				if !wasComplete && u.buf.PlaybackComplete() {
-					res.Users[i].CompletionSlot = slotIdx
-				}
-				if !wasComplete {
-					res.Users[i].QualitySum += float64(view.Rate)
-					res.Users[i].QualitySlots++
-					if u.prevRate != 0 && view.Rate != u.prevRate {
-						res.Users[i].QualitySwitches++
-					}
-					u.prevRate = view.Rate
-				}
-			}
-			res.Users[i].Rebuffer += c
-			st.Rebuffer += c
-			st.Energy += slotEnergy
-			st.UsedUnits += alloc[i]
-
-			// Fairness sample F_i = delivered/needed for users with a need.
-			if view.Active {
-				needKB := float64(view.Rate) * float64(s.cfg.Tau)
-				if needKB > float64(view.RemainingKB) {
-					needKB = float64(view.RemainingKB)
-				}
-				if needKB > 0 {
-					f := float64(deliveredKB) / needKB
-					if f > 1 {
-						f = 1
-					}
-					fairNum += f
-					fairDen += f * f
-					fairCount++
-				}
-			}
-
-			if s.cfg.RecordPerUserSlots {
-				res.RebufferSamples[i] = append(res.RebufferSamples[i], float64(c))
-				res.EnergySamples[i] = append(res.EnergySamples[i], float64(slotEnergy))
-			}
-		}
-		st.Fairness = jain(fairNum, fairDen, fairCount)
-		res.PerSlot = append(res.PerSlot, st)
-		res.Slots = slotIdx + 1
+// begin guards against running a consumed Simulator: buffers, RRC
+// machines and the engine's admission state are single-use.
+func (s *Simulator) begin() error {
+	if s.consumed {
+		return fmt.Errorf("cell: simulator already ran; build a new one")
 	}
-	return res, nil
+	s.consumed = true
+	return nil
+}
+
+// prepareUser fills user i's scheduler view for slot slotIdx and reports
+// whether the user is active (wants data this slot). It reads only
+// prewarmed session memos and writes only user-i state, so distinct
+// users prepare concurrently.
+func (s *Simulator) prepareUser(slotIdx, i int) bool {
+	u := s.users[i]
+	sess := u.session
+	started := slotIdx >= sess.StartSlot
+	active := started && !u.buf.DeliveryComplete()
+	sig := sess.Signal.At(slotIdx)
+	link := s.cfg.Radio.Throughput.Throughput(sig)
+	// Required rate and remaining demand: fixed-rate sessions use
+	// the workload's rate and byte remainder; ABR sessions pick
+	// the rate from the player's buffer, and the remainder is the
+	// undelivered content time priced at that rate.
+	rate := sess.RateAt(slotIdx)
+	remainingKB := u.buf.RemainingBytes()
+	if u.abrCtl != nil {
+		if active {
+			rate = u.abrCtl.Pick(u.buf.Occupancy())
+		} else {
+			rate = u.abrCtl.Current()
+		}
+		// The player requests at most its buffer-cap headroom of
+		// content per slot (plus the slot being played), and never
+		// more than the remaining video.
+		wantSec := s.cfg.ABR.WantSeconds(u.buf.Occupancy()) + s.cfg.Tau
+		if rem := u.buf.RemainingSeconds(); wantSec > rem {
+			wantSec = rem
+		}
+		remainingKB = units.KB(float64(wantSec) * float64(rate))
+	}
+	maxUnits := floorUnits(float64(link)*float64(s.cfg.Tau), float64(s.cfg.Unit))
+	remUnits := ceilUnits(float64(remainingKB), float64(s.cfg.Unit))
+	if maxUnits > remUnits {
+		maxUnits = remUnits
+	}
+	if !active {
+		maxUnits = 0
+	}
+	s.slot.Users[i] = sched.User{
+		Index:       i,
+		Active:      active,
+		Sig:         sig,
+		LinkRate:    link,
+		EnergyPerKB: s.cfg.Radio.Power.EnergyPerKB(sig),
+		Rate:        rate,
+		BufferSec:   u.buf.Occupancy(),
+		RemainingKB: remainingKB,
+		TailGap:     u.machine.Gap(),
+		NeverActive: !u.machine.EverActive(),
+		MaxUnits:    maxUnits,
+	}
+	return active
+}
+
+// slotAccum is one shard's contribution to a slot's aggregates. The
+// engine reduces the partials in shard order, so the reduction — and
+// therefore every floating-point rounding — depends only on the shard
+// layout, never on which worker ran which shard.
+type slotAccum struct {
+	rebuffer    units.Seconds
+	energy      units.MJ
+	usedUnits   int
+	fairNum     float64 // Jain index accumulators
+	fairDen     float64
+	fairCount   int
+	completions int // playback-complete transitions this slot
+	retires     int // users that became retirement-eligible this slot
+	err         error
+	errUser     int
+}
+
+// commitUser applies slot slotIdx's allocation outcome to user i —
+// energy per Eq. (5), RRC transition, buffer recursion Eq. (7), totals,
+// samples — accumulating the slot-level aggregates into acc. It writes
+// only user-i state and acc, so distinct users commit concurrently as
+// long as each shard owns its acc.
+func (s *Simulator) commitUser(slotIdx, i int, res *Result, acc *slotAccum) error {
+	u := s.users[i]
+	view := &s.slot.Users[i]
+	granted := s.alloc[i]
+	deliveredKB := units.KB(float64(granted) * float64(s.cfg.Unit))
+	// Cap the last shard at the true remainder so byte accounting
+	// stays exact even though units are discrete.
+	if deliveredKB > view.RemainingKB {
+		deliveredKB = view.RemainingKB
+	}
+
+	// Energy per Eq. (5): transmission when scheduled, tail when not.
+	var slotEnergy units.MJ
+	if granted > 0 {
+		slotEnergy = s.cfg.Radio.TransmissionEnergy(view.Sig, deliveredKB)
+		res.Users[i].TransEnergy += slotEnergy
+		res.Users[i].ActiveSlots++
+		u.machine.Transfer()
+	} else {
+		slotEnergy = u.machine.IdleSlot(s.cfg.Tau)
+		res.Users[i].TailEnergy += slotEnergy
+	}
+	res.Users[i].DeliveredKB += deliveredKB
+
+	// Buffer dynamics only for users that have started.
+	var c units.Seconds
+	if slotIdx >= u.session.StartSlot {
+		wasComplete := u.buf.PlaybackComplete()
+		var err error
+		c, err = u.buf.Advance(deliveredKB, view.Rate, s.cfg.Tau)
+		if err != nil {
+			return err
+		}
+		if !wasComplete && u.buf.PlaybackComplete() {
+			res.Users[i].CompletionSlot = slotIdx
+			acc.completions++
+		}
+		if !wasComplete {
+			res.Users[i].QualitySum += float64(view.Rate)
+			res.Users[i].QualitySlots++
+			if u.prevRate != 0 && view.Rate != u.prevRate {
+				res.Users[i].QualitySwitches++
+			}
+			u.prevRate = view.Rate
+		}
+	}
+	res.Users[i].Rebuffer += c
+	acc.rebuffer += c
+	acc.energy += slotEnergy
+	acc.usedUnits += granted
+
+	// Fairness sample F_i = delivered/needed for users with a need.
+	if view.Active {
+		needKB := float64(view.Rate) * float64(s.cfg.Tau)
+		if needKB > float64(view.RemainingKB) {
+			needKB = float64(view.RemainingKB)
+		}
+		if needKB > 0 {
+			f := float64(deliveredKB) / needKB
+			if f > 1 {
+				f = 1
+			}
+			acc.fairNum += f
+			acc.fairDen += f * f
+			acc.fairCount++
+		}
+	}
+
+	if s.cfg.RecordPerUserSlots {
+		res.RebufferSamples[i] = append(res.RebufferSamples[i], float64(c))
+		res.EnergySamples[i] = append(res.EnergySamples[i], float64(slotEnergy))
+	}
+	return nil
 }
 
 // enforce applies Eq. (1)/(2) clamping (or errors in Strict mode) and

@@ -50,6 +50,8 @@ func TestConfigValidate(t *testing.T) {
 		{"slots", func(c *Config) { c.MaxSlots = 0 }},
 		{"radio", func(c *Config) { c.Radio = radio.Model{} }},
 		{"rrc", func(c *Config) { c.RRC = rrc.Profile{Pd: -1} }},
+		{"workers", func(c *Config) { c.Workers = -1 }},
+		{"shardsize", func(c *Config) { c.ShardSize = -4 }},
 	}
 	for _, m := range mutations {
 		c := PaperConfig()
@@ -300,6 +302,70 @@ func TestStaggeredStartDelaysActivity(t *testing.T) {
 		if res.RebufferSamples[1][n] != 0 {
 			t.Errorf("slot %d: user 1 rebuffered before start", n)
 		}
+	}
+}
+
+func TestSimulatorSingleUse(t *testing.T) {
+	// The engine consumes admission and retirement state, so a second run
+	// on the same Simulator would silently simulate an empty cell. Both
+	// entry points must refuse instead.
+	cfg := tinyConfig()
+	sim, err := New(cfg, tinySessions(t, 2, 1000, 400), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Error("second Run on a consumed simulator accepted")
+	}
+	if _, err := sim.RunReference(); err == nil {
+		t.Error("RunReference on a consumed simulator accepted")
+	}
+
+	ref, err := New(cfg, tinySessions(t, 2, 1000, 400), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.RunReference(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err == nil {
+		t.Error("Run after RunReference accepted")
+	}
+}
+
+func TestResultAccessorsMatchUncached(t *testing.T) {
+	// The memoized aggregate the engine caches at Finalize must agree bit
+	// for bit with the accessors' fallback scan over res.Users.
+	cfg := tinyConfig()
+	sim, err := New(cfg, tinySessions(t, 3, 1000, 400), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.agg == nil {
+		t.Fatal("Run did not finalize the result")
+	}
+	type snap struct {
+		pe, totalE, tailE, transPerSlot units.MJ
+		pc, rebuffer                    units.Seconds
+	}
+	take := func() snap {
+		return snap{
+			pe: res.PE(), totalE: res.TotalEnergy(), tailE: res.TotalTailEnergy(),
+			transPerSlot: res.TransEnergyPerActiveSlot(),
+			pc:           res.PC(), rebuffer: res.TotalRebuffer(),
+		}
+	}
+	cached := take()
+	res.agg = nil // drop the memo; accessors fall back to scanning
+	if uncached := take(); cached != uncached {
+		t.Errorf("memoized accessors %+v != uncached scan %+v", cached, uncached)
 	}
 }
 

@@ -1,0 +1,239 @@
+package cell
+
+import (
+	"fmt"
+
+	"jointstream/internal/pool"
+	"jointstream/internal/sched"
+)
+
+// This file implements the production tick engine: each slot splits into
+//
+//	prepare  — build the scheduler's per-user views (sharded, parallel)
+//	schedule — one Allocate call plus Eq. (1)/(2) enforcement (serial)
+//	commit   — apply energy/buffer/RRC physics and totals (sharded)
+//
+// and iterates only the live users (started, not retired), so runs where
+// most sessions finish early stop paying O(N) per slot. Determinism is
+// preserved by construction: the shard layout is a function of the live
+// count and Config.ShardSize only — never of Config.Workers — every
+// shard confines its writes to its own users and accumulators, and the
+// per-shard partial sums are reduced in shard order. Any worker count
+// therefore produces a byte-identical Result; RunReference keeps the
+// original full-scan serial loop as the differential reference.
+
+// Run executes the simulation and returns the collected result.
+func (s *Simulator) Run() (*Result, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	res := s.newResult()
+	slot := &s.slot
+	alloc := s.alloc
+
+	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
+		s.admit(slotIdx, res)
+		if s.unfinished == 0 && !s.cfg.RunFullHorizon && slotIdx > 0 {
+			break
+		}
+		slot.N = slotIdx
+		live := s.live
+		shards := s.shardCount(len(live))
+		s.ensureShardScratch(shards)
+
+		// Phase 1: prepare. Each shard fills its users' views and collects
+		// its segment of the active list.
+		pool.Shard(s.workers, shards, func(sh int) {
+			lo, hi := shardBounds(sh, shards, len(live))
+			act := s.shardAct[sh][:0]
+			for _, i := range live[lo:hi] {
+				if s.prepareUser(slotIdx, i) {
+					act = append(act, i)
+				}
+				alloc[i] = 0
+			}
+			s.shardAct[sh] = act
+		})
+		s.activeBuf = s.activeBuf[:0]
+		for sh := 0; sh < shards; sh++ {
+			s.activeBuf = append(s.activeBuf, s.shardAct[sh]...)
+		}
+		slot.ActiveList = s.activeBuf
+
+		// Phase 2: schedule. One Allocate per slot, by contract serial.
+		s.sched.Allocate(slot, alloc)
+		clamps, err := s.enforce(slot, alloc)
+		if err != nil {
+			return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
+		}
+		res.ClampEvents += clamps
+
+		// Phase 3: commit. Each shard applies the physics to its users and
+		// accumulates partial sums; a shard stops at its first error.
+		pool.Shard(s.workers, shards, func(sh int) {
+			lo, hi := shardBounds(sh, shards, len(live))
+			acc := &s.shardAcc[sh]
+			*acc = slotAccum{errUser: -1}
+			for _, i := range live[lo:hi] {
+				if err := s.commitUser(slotIdx, i, res, acc); err != nil {
+					acc.err = err
+					acc.errUser = i
+					return
+				}
+				if s.retireEligible(i) {
+					s.users[i].retired = true
+					acc.retires++
+				}
+			}
+		})
+
+		// Reduce in shard order: identical addition sequence regardless of
+		// worker count, and — with one shard — identical to the reference
+		// engine's flat per-user accumulation.
+		st := SlotTotals{}
+		var fairNum, fairDen float64
+		var fairCount, retires int
+		for sh := 0; sh < shards; sh++ {
+			acc := &s.shardAcc[sh]
+			if acc.err != nil {
+				return nil, fmt.Errorf("cell: user %d slot %d: %w", acc.errUser, slotIdx, acc.err)
+			}
+			st.Rebuffer += acc.rebuffer
+			st.Energy += acc.energy
+			st.UsedUnits += acc.usedUnits
+			fairNum += acc.fairNum
+			fairDen += acc.fairDen
+			fairCount += acc.fairCount
+			s.unfinished -= acc.completions
+			retires += acc.retires
+		}
+		st.Fairness = jain(fairNum, fairDen, fairCount)
+		res.PerSlot = append(res.PerSlot, st)
+		res.Slots = slotIdx + 1
+		if retires > 0 {
+			s.dropRetired()
+		}
+	}
+	s.padSamples(res)
+	res.Finalize()
+	return res, nil
+}
+
+// admit moves users whose StartSlot has arrived from pending onto the
+// live list. Late joiners are backfilled with the zero samples the
+// full-scan engine would have recorded for their pre-start slots.
+func (s *Simulator) admit(slotIdx int, res *Result) {
+	for len(s.pending) > 0 {
+		i := s.pending[0]
+		if s.users[i].session.StartSlot > slotIdx {
+			break
+		}
+		s.pending = s.pending[1:]
+		s.live = insertSorted(s.live, i)
+		if s.cfg.RecordPerUserSlots {
+			for len(res.RebufferSamples[i]) < slotIdx {
+				res.RebufferSamples[i] = append(res.RebufferSamples[i], 0)
+				res.EnergySamples[i] = append(res.EnergySamples[i], 0)
+			}
+		}
+	}
+}
+
+// insertSorted inserts v into ascending-sorted xs, keeping order.
+func insertSorted(xs []int, v int) []int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	xs = append(xs, 0)
+	copy(xs[lo+1:], xs[lo:])
+	xs[lo] = v
+	return xs
+}
+
+// retireEligible reports whether user i can leave the live list: its
+// playback and delivery are complete and its RRC tail is drained, so
+// every future slot would add exactly zero energy, rebuffering and
+// delivered bytes. Users with tail still burning stay live — the idle
+// slots after completion are where the tail energy the paper studies
+// accrues.
+func (s *Simulator) retireEligible(i int) bool {
+	u := s.users[i]
+	if !u.buf.PlaybackComplete() || !u.buf.DeliveryComplete() {
+		return false
+	}
+	m := u.machine
+	return !m.EverActive() || m.Gap() >= m.Profile().TailDrainedAfter()
+}
+
+// dropRetired compacts the live list, zeroing retired users' scheduler
+// views and allocations so a stale Active flag can never leak into a
+// later slot's scheduling.
+func (s *Simulator) dropRetired() {
+	w := 0
+	for _, i := range s.live {
+		if s.users[i].retired {
+			s.slot.Users[i] = sched.User{Index: i}
+			s.alloc[i] = 0
+			continue
+		}
+		s.live[w] = i
+		w++
+	}
+	s.live = s.live[:w]
+}
+
+// padSamples extends every recorded series to the final slot count with
+// the zeros the full-scan engine would have written for retired and
+// never-started users.
+func (s *Simulator) padSamples(res *Result) {
+	if !s.cfg.RecordPerUserSlots {
+		return
+	}
+	for i := range s.users {
+		for len(res.RebufferSamples[i]) < res.Slots {
+			res.RebufferSamples[i] = append(res.RebufferSamples[i], 0)
+		}
+		for len(res.EnergySamples[i]) < res.Slots {
+			res.EnergySamples[i] = append(res.EnergySamples[i], 0)
+		}
+	}
+}
+
+// shardCount returns the slot's shard count: ⌈live/shardSize⌉. It is a
+// function of the live-user count only, so worker count never changes
+// the summation grouping.
+func (s *Simulator) shardCount(live int) int {
+	if live == 0 {
+		return 0
+	}
+	return (live + s.shardSize - 1) / s.shardSize
+}
+
+// shardBounds returns shard sh's half-open [lo, hi) range over n live
+// users, splitting as evenly as possible (the first n%shards shards get
+// one extra user).
+func shardBounds(sh, shards, n int) (int, int) {
+	base, rem := n/shards, n%shards
+	lo := sh*base + min(sh, rem)
+	hi := lo + base
+	if sh < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ensureShardScratch sizes the per-shard scratch for this slot.
+func (s *Simulator) ensureShardScratch(shards int) {
+	for len(s.shardAct) < shards {
+		s.shardAct = append(s.shardAct, nil)
+	}
+	for len(s.shardAcc) < shards {
+		s.shardAcc = append(s.shardAcc, slotAccum{})
+	}
+}

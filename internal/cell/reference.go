@@ -1,0 +1,60 @@
+package cell
+
+import "fmt"
+
+// RunReference executes the simulation with the original full-scan
+// serial engine: every slot prepares, schedules and commits all N users
+// in index order, with flat (unsharded) accumulation. It is the
+// reference arm of the engine differential tests in internal/simtest —
+// Run must reproduce its Result bit for bit whenever the shard layout is
+// a single shard (live users ≤ ShardSize), and match it up to float
+// reassociation otherwise. Production callers use Run.
+func (s *Simulator) RunReference() (*Result, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	res := s.newResult()
+	slot := &s.slot
+	alloc := s.alloc
+	slot.ActiveList = nil // schedulers exercise their full-scan fallback
+
+	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
+		slot.N = slotIdx
+		allDone := true
+		for i := range s.users {
+			u := s.users[i]
+			s.prepareUser(slotIdx, i)
+			if slotIdx < u.session.StartSlot || !u.buf.PlaybackComplete() {
+				allDone = false
+			}
+			alloc[i] = 0
+		}
+		if allDone && !s.cfg.RunFullHorizon && slotIdx > 0 {
+			break
+		}
+
+		s.sched.Allocate(slot, alloc)
+		clamps, err := s.enforce(slot, alloc)
+		if err != nil {
+			return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
+		}
+		res.ClampEvents += clamps
+
+		acc := slotAccum{errUser: -1}
+		for i := range s.users {
+			if err := s.commitUser(slotIdx, i, res, &acc); err != nil {
+				return nil, fmt.Errorf("cell: user %d slot %d: %w", i, slotIdx, err)
+			}
+		}
+		st := SlotTotals{
+			Fairness:  jain(acc.fairNum, acc.fairDen, acc.fairCount),
+			Energy:    acc.energy,
+			Rebuffer:  acc.rebuffer,
+			UsedUnits: acc.usedUnits,
+		}
+		res.PerSlot = append(res.PerSlot, st)
+		res.Slots = slotIdx + 1
+	}
+	res.Finalize()
+	return res, nil
+}

@@ -1,0 +1,61 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Shard runs fn(shard) for every shard index in [0, shards), fanning the
+// calls across at most workers goroutines. It is the low-overhead sibling
+// of Map for the simulator's per-slot tick path: no context, no error
+// plumbing, no per-job channel send — shard indices are claimed from an
+// atomic counter, so dispatching a slot's prepare or commit phase costs
+// one goroutine spawn per worker and one atomic add per shard.
+//
+// fn must confine its writes to shard-local state; Shard returns only
+// after every shard completed. workers <= 1 (or a single shard) runs the
+// loop inline on the caller's goroutine, which the simulator relies on
+// for its serial-equals-parallel determinism guarantee. A panic in fn is
+// re-raised on the caller's goroutine once the remaining workers drain.
+func Shard(workers, shards int, fn func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for i := 0; i < shards; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicked = p })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shards {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,130 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestShardCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		hits := make([]atomic.Int32, 100)
+		Shard(workers, len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times, want 1", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestShardZeroShards(t *testing.T) {
+	called := false
+	Shard(4, 0, func(int) { called = true })
+	Shard(4, -3, func(int) { called = true })
+	if called {
+		t.Error("fn called with no shards")
+	}
+}
+
+func TestShardSerialRunsInline(t *testing.T) {
+	// workers <= 1 must run on the caller's goroutine in ascending order —
+	// the simulator's determinism argument depends on it. Unsynchronized
+	// writes to `order` would trip the race detector if a goroutine ran fn.
+	var order []int
+	Shard(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order = %v, want ascending", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d shards, want 5", len(order))
+	}
+}
+
+func TestShardWorkersCappedAtShards(t *testing.T) {
+	// More workers than shards must not deadlock or double-run shards.
+	var runs atomic.Int32
+	Shard(32, 3, func(int) { runs.Add(1) })
+	if runs.Load() != 3 {
+		t.Errorf("ran %d shards, want 3", runs.Load())
+	}
+}
+
+func TestShardActuallyParallel(t *testing.T) {
+	// Two shards that each wait for the other: sequential execution would
+	// time out.
+	var entered atomic.Int32
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		Shard(2, 2, func(int) {
+			if entered.Add(1) == 2 {
+				close(release)
+			}
+			select {
+			case <-release:
+			case <-time.After(5 * time.Second):
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+		if entered.Load() != 2 {
+			t.Fatalf("entered = %d", entered.Load())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shard did not run shards concurrently")
+	}
+}
+
+func TestShardPanicPropagates(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "shard boom" {
+			t.Errorf("recovered %v, want the shard's panic value", p)
+		}
+	}()
+	Shard(4, 8, func(i int) {
+		if i == 3 {
+			panic("shard boom")
+		}
+	})
+	t.Error("panic not re-raised")
+}
+
+// Property: the per-shard partial sums reduced in shard order equal the
+// serial sum, for any worker count.
+func TestShardPartialSumsProperty(t *testing.T) {
+	f := func(xs []int32, workersRaw, shardRaw uint8) bool {
+		shards := int(shardRaw%8) + 1
+		workers := int(workersRaw % 10)
+		partial := make([]int64, shards)
+		Shard(workers, shards, func(sh int) {
+			lo := sh * len(xs) / shards
+			hi := (sh + 1) * len(xs) / shards
+			for _, x := range xs[lo:hi] {
+				partial[sh] += int64(x)
+			}
+		})
+		var got, want int64
+		for _, p := range partial {
+			got += p
+		}
+		for _, x := range xs {
+			want += int64(x)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkShardOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Shard(8, 64, func(int) {})
+	}
+}

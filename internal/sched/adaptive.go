@@ -30,6 +30,7 @@ type AdaptiveEMA struct {
 	slotCount  int
 	stallAccum float64 // Σ per-user estimated stall in the current window
 	userSlots  int     // Σ active users over the window's slots
+	act        []int   // ActiveIndices fallback scratch
 }
 
 // AdaptiveEMAConfig configures the controller.
@@ -111,11 +112,8 @@ func (a *AdaptiveEMA) V() float64 { return a.inner.V() }
 // Allocate implements Scheduler: measure stall pressure, adapt V at
 // window boundaries, then delegate to the inner EMA's exact DP.
 func (a *AdaptiveEMA) Allocate(slot *Slot, alloc []int) {
-	for i := range slot.Users {
+	for _, i := range slot.ActiveIndices(&a.act) {
 		u := &slot.Users[i]
-		if !u.Active {
-			continue
-		}
 		a.userSlots++
 		if u.BufferSec < slot.Tau {
 			// The slot will stall for the uncovered remainder (Eq. 8).

@@ -14,6 +14,7 @@ import (
 // capacity in index order.
 type Throttling struct {
 	factor float64
+	act    []int // ActiveIndices fallback scratch
 }
 
 // NewThrottling builds the throttling baseline; factor must be ≥ 1 (the
@@ -32,14 +33,11 @@ func (*Throttling) Name() string { return "Throttling" }
 // Allocate implements Scheduler.
 func (t *Throttling) Allocate(slot *Slot, alloc []int) {
 	remaining := slot.CapacityUnits
-	for i := range slot.Users {
+	for _, i := range slot.ActiveIndices(&t.act) {
 		if remaining == 0 {
 			break
 		}
 		u := &slot.Users[i]
-		if !u.Active {
-			continue
-		}
 		want := ceilDiv(t.factor*float64(u.Rate)*float64(slot.Tau), float64(slot.Unit))
 		if want > u.MaxUnits {
 			want = u.MaxUnits
@@ -61,6 +59,7 @@ func (t *Throttling) Allocate(slot *Slot, alloc []int) {
 type OnOff struct {
 	lowSec, highSec units.Seconds
 	on              []bool
+	act             []int // ActiveIndices fallback scratch
 }
 
 // NewOnOff builds the ON-OFF baseline with the given buffer watermarks in
@@ -81,11 +80,8 @@ func (o *OnOff) Allocate(slot *Slot, alloc []int) {
 		o.on = append(o.on, true) // players start in ON
 	}
 	remaining := slot.CapacityUnits
-	for i := range slot.Users {
+	for _, i := range slot.ActiveIndices(&o.act) {
 		u := &slot.Users[i]
-		if !u.Active {
-			continue
-		}
 		// Hysteresis on the playback buffer.
 		if o.on[i] && u.BufferSec >= o.highSec {
 			o.on[i] = false
@@ -115,6 +111,7 @@ type SALSA struct {
 	// ewma tracks each user's average link rate to judge "good" slots.
 	ewma  []float64
 	alpha float64
+	act   []int // ActiveIndices fallback scratch
 }
 
 // NewSALSA builds the SALSA baseline. urgentSec is the buffer urgency
@@ -138,11 +135,8 @@ func (s *SALSA) Allocate(slot *Slot, alloc []int) {
 		s.ewma = append(s.ewma, 0)
 	}
 	remaining := slot.CapacityUnits
-	for i := range slot.Users {
+	for _, i := range slot.ActiveIndices(&s.act) {
 		u := &slot.Users[i]
-		if !u.Active {
-			continue
-		}
 		rate := float64(u.LinkRate)
 		if s.ewma[i] == 0 {
 			s.ewma[i] = rate
@@ -186,6 +180,7 @@ type EStreamer struct {
 	// resumeSec is the buffer level that triggers the next burst.
 	resumeSec units.Seconds
 	bursting  []bool
+	act       []int // ActiveIndices fallback scratch
 }
 
 // NewEStreamer builds the EStreamer baseline.
@@ -205,11 +200,8 @@ func (e *EStreamer) Allocate(slot *Slot, alloc []int) {
 		e.bursting = append(e.bursting, true)
 	}
 	remaining := slot.CapacityUnits
-	for i := range slot.Users {
+	for _, i := range slot.ActiveIndices(&e.act) {
 		u := &slot.Users[i]
-		if !u.Active {
-			continue
-		}
 		if e.bursting[i] && u.BufferSec >= e.burstSec {
 			e.bursting[i] = false
 		} else if !e.bursting[i] && u.BufferSec <= e.resumeSec {

@@ -6,7 +6,9 @@ package sched
 // order until the slot capacity is exhausted, each receiving up to its
 // link limit. Under contention this systematically starves high-index
 // users — exactly the unfairness Figures 2 and 3 attribute to it.
-type DefaultScheduler struct{}
+type DefaultScheduler struct {
+	act []int // ActiveIndices fallback scratch
+}
 
 // NewDefault returns the greedy baseline scheduler.
 func NewDefault() *DefaultScheduler { return &DefaultScheduler{} }
@@ -15,16 +17,13 @@ func NewDefault() *DefaultScheduler { return &DefaultScheduler{} }
 func (*DefaultScheduler) Name() string { return "Default" }
 
 // Allocate implements Scheduler.
-func (*DefaultScheduler) Allocate(slot *Slot, alloc []int) {
+func (d *DefaultScheduler) Allocate(slot *Slot, alloc []int) {
 	remaining := slot.CapacityUnits
-	for i := range slot.Users {
+	for _, i := range slot.ActiveIndices(&d.act) {
 		if remaining == 0 {
 			break
 		}
 		u := &slot.Users[i]
-		if !u.Active {
-			continue
-		}
 		a := u.MaxUnits
 		if a > remaining {
 			a = remaining

@@ -61,6 +61,7 @@ type EMA struct {
 	dpUser []int      // indices of users participating in the DP
 	dqJ    []int32    // deque scratch: candidate predecessor states j
 	dqG    []float64  // deque scratch: g[j] = cost[j] − perUnit·j
+	act    []int      // ActiveIndices fallback scratch
 }
 
 // tailKey identifies one memoized tail-energy increment.
@@ -180,13 +181,13 @@ func (e *EMA) allocate(slot *Slot, alloc []int, dp func(*EMA, *Slot, []int, int)
 	users := slot.Users
 	e.ensureQueues(len(users))
 
-	// Users with a positive link bound participate in the DP; everyone
-	// else necessarily gets ϕ = 0 and only contributes a constant to the
-	// objective, which cannot change the argmin.
+	// Active users with a positive link bound participate in the DP;
+	// everyone else necessarily gets ϕ = 0 and only contributes a constant
+	// to the objective, which cannot change the argmin.
 	e.dpUser = e.dpUser[:0]
-	for i := range users {
+	for _, i := range slot.ActiveIndices(&e.act) {
 		u := &users[i]
-		if u.Active && u.MaxUnits > 0 && u.Rate > 0 {
+		if u.MaxUnits > 0 && u.Rate > 0 {
 			e.dpUser = append(e.dpUser, i)
 		}
 	}
@@ -198,11 +199,8 @@ func (e *EMA) allocate(slot *Slot, alloc []int, dp func(*EMA, *Slot, []int, int)
 
 	// Eq. (16): advance every active user's virtual queue using the slot's
 	// final decision. Inactive users keep their queue frozen.
-	for i := range users {
+	for _, i := range slot.ActiveIndices(&e.act) {
 		u := &users[i]
-		if !u.Active {
-			continue
-		}
 		t := 0.0
 		if alloc[i] > 0 {
 			t = float64(alloc[i]) * float64(slot.Unit) / float64(u.Rate)

@@ -16,6 +16,16 @@ type ProportionalFair struct {
 	tc float64
 	// avg is the per-user average served rate in KB per slot.
 	avg []float64
+
+	// scratch reused across slots.
+	cands []pfCand
+	act   []int // ActiveIndices fallback scratch
+}
+
+// pfCand is one ranked candidate of a slot.
+type pfCand struct {
+	idx      int
+	priority float64
 }
 
 // NewProportionalFair builds the scheduler with the given averaging time
@@ -37,14 +47,10 @@ func (p *ProportionalFair) Allocate(slot *Slot, alloc []int) {
 	}
 	// Rank active users by rate/average (Inf for never-served users, who
 	// therefore go first — the standard cold-start behaviour).
-	type cand struct {
-		idx      int
-		priority float64
-	}
-	cands := make([]cand, 0, len(slot.Users))
-	for i := range slot.Users {
+	p.cands = p.cands[:0]
+	for _, i := range slot.ActiveIndices(&p.act) {
 		u := &slot.Users[i]
-		if !u.Active || u.MaxUnits == 0 {
+		if u.MaxUnits == 0 {
 			continue
 		}
 		inst := float64(u.LinkRate) * float64(slot.Tau)
@@ -54,10 +60,11 @@ func (p *ProportionalFair) Allocate(slot *Slot, alloc []int) {
 		} else {
 			pr = inst * 1e12 // effectively infinite priority
 		}
-		cands = append(cands, cand{idx: i, priority: pr})
+		p.cands = append(p.cands, pfCand{idx: i, priority: pr})
 	}
 	// Insertion sort by priority descending (N is small; stable and
 	// allocation-free).
+	cands := p.cands
 	for i := 1; i < len(cands); i++ {
 		for j := i; j > 0 && cands[j].priority > cands[j-1].priority; j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]
@@ -76,7 +83,10 @@ func (p *ProportionalFair) Allocate(slot *Slot, alloc []int) {
 		alloc[c.idx] = a
 		remaining -= a
 	}
-	// Update the served-rate averages with this slot's outcome.
+	// Update the served-rate averages with this slot's outcome. This loop
+	// deliberately stays a full scan: inactive users were served nothing,
+	// so their averages keep decaying toward zero, exactly as a base
+	// station's MAC would age out a silent bearer.
 	w := 1 / p.tc
 	for i := range slot.Users {
 		served := float64(alloc[i]) * float64(slot.Unit)

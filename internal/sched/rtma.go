@@ -36,7 +36,32 @@ type RTMA struct {
 	admitAll bool
 
 	// scratch reused across slots to avoid per-slot allocation.
-	order []int
+	keys rtmaKeys // admitted users with a per-slot need, sorted by (rate, index)
+	zero []int    // admitted zero-need users, served from the spare-capacity drain
+	act  []int    // ActiveIndices fallback scratch
+}
+
+// rtmaKey precomputes one candidate's sort key and per-slot need so the
+// sort compares plain values (no closure, no double indirection into the
+// slot) and the water-filling rounds never recompute ϕ_need.
+type rtmaKey struct {
+	rate units.KBps
+	idx  int32
+	need int32
+}
+
+// rtmaKeys sorts by (rate, index): rates tie-break on the ascending user
+// index, which reproduces exactly the order a stable sort by rate alone
+// produces from the index-ordered candidate scan.
+type rtmaKeys []rtmaKey
+
+func (k rtmaKeys) Len() int      { return len(k) }
+func (k rtmaKeys) Swap(a, b int) { k[a], k[b] = k[b], k[a] }
+func (k rtmaKeys) Less(a, b int) bool {
+	if k[a].rate != k[b].rate {
+		return k[a].rate < k[b].rate
+	}
+	return k[a].idx < k[b].idx
 }
 
 // RTMAConfig configures RTMA.
@@ -136,34 +161,47 @@ func (*RTMA) Name() string { return "RTMA" }
 // Allocate implements Scheduler following Alg. 1.
 func (r *RTMA) Allocate(slot *Slot, alloc []int) {
 	users := slot.Users
-	// Step 2: sort users by required data rate ascending. The order slice
-	// is rebuilt each slot because rates and activity change.
-	r.order = r.order[:0]
-	for i := range users {
+	// Step 2: candidates sorted by required data rate ascending. Keys and
+	// needs are precomputed once per slot because rates and activity
+	// change between slots but not within one.
+	r.keys = r.keys[:0]
+	r.zero = r.zero[:0]
+	for _, i := range slot.ActiveIndices(&r.act) {
 		u := &users[i]
-		if !u.Active || u.MaxUnits == 0 {
+		if u.MaxUnits == 0 {
 			continue
 		}
 		// Step 6: admission by signal-strength limitation φ.
 		if !r.admitAll && u.Sig < r.threshold {
 			continue
 		}
-		r.order = append(r.order, i)
+		need := u.NeedUnits(slot.Tau, slot.Unit)
+		if need == 0 {
+			// A zero-rate user has no per-slot playback need; it only
+			// soaks up capacity the needy users leave behind (the drain
+			// below), a whole link's worth in one grant instead of one
+			// unit per round.
+			r.zero = append(r.zero, i)
+			continue
+		}
+		r.keys = append(r.keys, rtmaKey{rate: u.Rate, idx: int32(i), need: int32(need)})
 	}
-	sort.SliceStable(r.order, func(a, b int) bool {
-		return users[r.order[a]].Rate < users[r.order[b]].Rate
-	})
+	sort.Sort(r.keys)
 
 	remaining := slot.CapacityUnits
 	// Steps 4–15: rounds of need-sized increments until the capacity or
-	// all per-user link bounds are exhausted.
-	progress := true
-	for remaining > 0 && progress {
-		progress = false
-		for _, i := range r.order {
+	// all per-user link bounds are exhausted. Saturated users are
+	// compacted out of the live window so late rounds touch only users
+	// that can still grow; every live user receives ≥ 1 unit per round,
+	// so the rounds always terminate.
+	live := r.keys
+	for remaining > 0 && len(live) > 0 {
+		w := 0
+		for _, k := range live {
 			if remaining == 0 {
 				break
 			}
+			i := int(k.idx)
 			u := &users[i]
 			// ϕ_sup: what the link and base station still support (step 7).
 			sup := u.MaxUnits - alloc[i]
@@ -173,20 +211,31 @@ func (r *RTMA) Allocate(slot *Slot, alloc []int) {
 			if sup <= 0 {
 				continue
 			}
-			need := u.NeedUnits(slot.Tau, slot.Unit)
-			if need == 0 {
-				// A zero-rate user still makes progress one unit at a time
-				// so the loop terminates while using spare capacity.
-				need = 1
-			}
-			grant := need
+			grant := int(k.need)
 			if grant > sup {
 				grant = sup // step 11: partial grant
 			}
 			alloc[i] += grant
 			remaining -= grant
-			progress = true
+			if alloc[i] < u.MaxUnits {
+				live[w] = k
+				w++
+			}
 		}
+		live = live[:w]
+	}
+	// Spare-capacity drain: zero-need users absorb whatever the needy
+	// ones left, in index order.
+	for _, i := range r.zero {
+		if remaining == 0 {
+			break
+		}
+		grant := users[i].MaxUnits
+		if grant > remaining {
+			grant = remaining
+		}
+		alloc[i] = grant
+		remaining -= grant
 	}
 }
 

@@ -196,6 +196,61 @@ func TestRTMATerminatesWithZeroRateUser(t *testing.T) {
 	}
 }
 
+func TestRTMAZeroNeedDrainIsLinear(t *testing.T) {
+	// Regression: zero-need users used to be granted max(need,1) = 1 unit
+	// per water-filling round, so a cell full of idle (zero-rate) users
+	// with a large capacity took O(capacity × N) rounds to drain. They now
+	// absorb a whole link bound in one grant, so this finishes instantly;
+	// the test binary deadline catches a return to the degenerate rounds.
+	r := newRTMA(t, looseBudget)
+	const n = 500
+	users := make([]User, n)
+	for i := range users {
+		users[i] = stdUser(0, -60, 5000)
+	}
+	slot := makeSlot(2_500_000, users...)
+	alloc := make([]int, n)
+	r.Allocate(slot, alloc)
+	total := 0
+	for i, a := range alloc {
+		if a != 5000 {
+			t.Fatalf("zero-need user %d got %d, want its full link bound 5000", i, a)
+		}
+		total += a
+	}
+	if total != n*5000 {
+		t.Errorf("total allocation %d, want %d", total, n*5000)
+	}
+}
+
+func TestRTMANeedyServedBeforeZeroNeed(t *testing.T) {
+	// Zero-need users only soak up what the needy leave behind: under
+	// scarcity they must get nothing.
+	r := newRTMA(t, looseBudget)
+	// Capacity 6; the needy 600 KB/s user needs 6 per slot.
+	slot := makeSlot(6, stdUser(0, -60, 40), stdUser(600, -60, 40))
+	alloc := make([]int, 2)
+	r.Allocate(slot, alloc)
+	if alloc[1] != 6 {
+		t.Errorf("needy user got %d, want all 6 units", alloc[1])
+	}
+	if alloc[0] != 0 {
+		t.Errorf("zero-need user got %d under scarcity, want 0", alloc[0])
+	}
+}
+
+func TestRTMAZeroNeedDrainInIndexOrder(t *testing.T) {
+	// With spare capacity for only part of the zero-need pool, the drain
+	// serves ascending user indices.
+	r := newRTMA(t, looseBudget)
+	slot := makeSlot(15, stdUser(0, -60, 10), stdUser(0, -60, 10), stdUser(0, -60, 10))
+	alloc := make([]int, 3)
+	r.Allocate(slot, alloc)
+	if alloc[0] != 10 || alloc[1] != 5 || alloc[2] != 0 {
+		t.Errorf("drain order wrong: %v, want [10 5 0]", alloc)
+	}
+}
+
 func TestBudgetForAlpha(t *testing.T) {
 	b, err := BudgetForAlpha(500, 1.2)
 	if err != nil || b != 600 {

@@ -81,6 +81,37 @@ type Slot struct {
 	CapacityUnits int
 	// Users holds one view per session, indexed by User.Index.
 	Users []User
+	// ActiveList, when non-nil, holds the indices of the active users in
+	// ascending order. The simulator's engine maintains it so schedulers
+	// iterate only the users that want data instead of scanning all of
+	// Users each slot; hand-built slots may leave it nil and schedulers
+	// fall back to the scan (see ActiveIndices). An empty non-nil list
+	// means no user is active.
+	ActiveList []int
+}
+
+// ActiveIndices returns the indices of the active users in ascending
+// order: ActiveList when the engine provided it, otherwise a scan of
+// Users collected into *scratch (grown as needed and written back, so
+// repeat callers stay allocation-free). scratch may be nil for one-shot
+// callers.
+func (s *Slot) ActiveIndices(scratch *[]int) []int {
+	if s.ActiveList != nil {
+		return s.ActiveList
+	}
+	var buf []int
+	if scratch != nil {
+		buf = (*scratch)[:0]
+	}
+	for i := range s.Users {
+		if s.Users[i].Active {
+			buf = append(buf, i)
+		}
+	}
+	if scratch != nil {
+		*scratch = buf
+	}
+	return buf
 }
 
 // Scheduler decides the per-slot allocation. Implementations may keep
@@ -143,6 +174,24 @@ func (s *Slot) Validate(alloc []int) error {
 	}
 	if total > s.CapacityUnits {
 		return fmt.Errorf("sched: total allocation %d exceeds capacity %d units", total, s.CapacityUnits)
+	}
+	if s.ActiveList != nil {
+		// An engine-maintained active list must mirror the Active flags
+		// exactly, in ascending order — a stale entry would let a
+		// scheduler serve (or skip) the wrong user.
+		j := 0
+		for i := range s.Users {
+			if !s.Users[i].Active {
+				continue
+			}
+			if j >= len(s.ActiveList) || s.ActiveList[j] != i {
+				return fmt.Errorf("sched: active list %v inconsistent with Active flags at user %d", s.ActiveList, i)
+			}
+			j++
+		}
+		if j != len(s.ActiveList) {
+			return fmt.Errorf("sched: active list has %d entries for %d active users", len(s.ActiveList), j)
+		}
 	}
 	return nil
 }

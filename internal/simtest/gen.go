@@ -106,3 +106,16 @@ func SmallWorkload(seed uint64, users int) ([]*workload.Session, error) {
 	cfg.Signal.PeriodSlots = 60
 	return workload.Generate(cfg, rng.New(seed))
 }
+
+// StaggeredWorkload is SmallWorkload with Poisson arrivals: users join
+// with exponential interarrival times of the given mean instead of all
+// starting at slot 0, so runs exercise the engine's admission path and
+// finish with staggered completions. Deterministic in seed.
+func StaggeredWorkload(seed uint64, users int, meanInterarrival units.Seconds) ([]*workload.Session, error) {
+	cfg := workload.PaperDefaults(users)
+	cfg.SizeMin = 2 * units.Megabyte
+	cfg.SizeMax = 5 * units.Megabyte
+	cfg.Signal.PeriodSlots = 60
+	cfg.MeanInterarrival = meanInterarrival
+	return workload.Generate(cfg, rng.New(seed))
+}

@@ -188,6 +188,123 @@ func SameResults(a, b *cell.Result) error {
 	return nil
 }
 
+// SameResultsApprox compares two simulation results allowing the slot
+// aggregates to differ by floating-point reassociation: the sharded tick
+// engine sums per-shard partials instead of a flat per-user loop, so
+// with more than one shard the PerSlot energies, rebuffering and
+// fairness regroup additions. Everything accumulated per user —
+// per-user totals, per-user-slot samples — and every integer field must
+// still match exactly.
+func SameResultsApprox(a, b *cell.Result, rtol float64) error {
+	if a.SchedulerName != b.SchedulerName {
+		return fmt.Errorf("simtest: scheduler %q vs %q", a.SchedulerName, b.SchedulerName)
+	}
+	if a.Slots != b.Slots {
+		return fmt.Errorf("simtest: slot count %d vs %d", a.Slots, b.Slots)
+	}
+	if !reflect.DeepEqual(a.Users, b.Users) {
+		return fmt.Errorf("simtest: per-user totals diverged")
+	}
+	if !reflect.DeepEqual(a.RebufferSamples, b.RebufferSamples) ||
+		!reflect.DeepEqual(a.EnergySamples, b.EnergySamples) {
+		return fmt.Errorf("simtest: per-user-slot samples diverged")
+	}
+	if a.ClampEvents != b.ClampEvents {
+		return fmt.Errorf("simtest: clamp events %d vs %d", a.ClampEvents, b.ClampEvents)
+	}
+	if len(a.PerSlot) != len(b.PerSlot) {
+		return fmt.Errorf("simtest: per-slot lengths %d vs %d", len(a.PerSlot), len(b.PerSlot))
+	}
+	near := func(x, y float64) bool {
+		return math.Abs(x-y) <= rtol*(1+math.Abs(y))
+	}
+	for n := range a.PerSlot {
+		x, y := a.PerSlot[n], b.PerSlot[n]
+		if x.UsedUnits != y.UsedUnits {
+			return fmt.Errorf("simtest: slot %d used units %d vs %d", n, x.UsedUnits, y.UsedUnits)
+		}
+		if !near(float64(x.Energy), float64(y.Energy)) {
+			return fmt.Errorf("simtest: slot %d energy %v vs %v", n, x.Energy, y.Energy)
+		}
+		if !near(float64(x.Rebuffer), float64(y.Rebuffer)) {
+			return fmt.Errorf("simtest: slot %d rebuffer %v vs %v", n, x.Rebuffer, y.Rebuffer)
+		}
+		if !near(x.Fairness, y.Fairness) {
+			return fmt.Errorf("simtest: slot %d fairness %v vs %v", n, x.Fairness, y.Fairness)
+		}
+	}
+	return nil
+}
+
+// CheckWorkerDeterminism runs one simulation per worker count — each
+// built fresh by build(workers), which must thread its argument into
+// cell.Config.Workers — and verifies the Results are byte-identical.
+// This is the executable form of Config.Workers' contract: the worker
+// count parallelizes the tick path but may never change the physics,
+// because the shard layout and the reduction order don't depend on it.
+func CheckWorkerDeterminism(workerCounts []int, build func(workers int) (*cell.Simulator, error)) error {
+	if len(workerCounts) < 2 {
+		return fmt.Errorf("simtest: need at least two worker counts to compare")
+	}
+	run := func(workers int) (*cell.Result, error) {
+		sim, err := build(workers)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run()
+	}
+	base, err := run(workerCounts[0])
+	if err != nil {
+		return fmt.Errorf("simtest: workers=%d: %w", workerCounts[0], err)
+	}
+	for _, w := range workerCounts[1:] {
+		got, err := run(w)
+		if err != nil {
+			return fmt.Errorf("simtest: workers=%d: %w", w, err)
+		}
+		if err := SameResults(base, got); err != nil {
+			return fmt.Errorf("simtest: result differs between workers=%d and workers=%d: %w",
+				workerCounts[0], w, err)
+		}
+	}
+	return nil
+}
+
+// CheckEngineEquivalence builds the same simulation twice and runs one
+// copy through the sharded engine (Run) and the other through the
+// full-scan reference arm (RunReference). With exact=true the Results
+// must be byte-identical — guaranteed whenever the live-user count never
+// exceeds one shard — otherwise the slot aggregates may differ by
+// reassociation noise (SameResultsApprox at 1e-9).
+func CheckEngineEquivalence(exact bool, build func() (*cell.Simulator, error)) error {
+	refSim, err := build()
+	if err != nil {
+		return err
+	}
+	ref, err := refSim.RunReference()
+	if err != nil {
+		return fmt.Errorf("simtest: reference engine: %w", err)
+	}
+	sim, err := build()
+	if err != nil {
+		return err
+	}
+	got, err := sim.Run()
+	if err != nil {
+		return fmt.Errorf("simtest: sharded engine: %w", err)
+	}
+	if exact {
+		if err := SameResults(got, ref); err != nil {
+			return fmt.Errorf("simtest: sharded engine deviates from reference: %w", err)
+		}
+		return nil
+	}
+	if err := SameResultsApprox(got, ref, 1e-9); err != nil {
+		return fmt.Errorf("simtest: sharded engine deviates from reference: %w", err)
+	}
+	return nil
+}
+
 // CheckParallelDeterminism runs `jobs` independent simulations — each
 // built fresh by build(job) — through pool.Map once per worker count and
 // verifies every job's result is identical across counts. It is the

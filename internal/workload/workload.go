@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"jointstream/internal/pool"
 	"jointstream/internal/rng"
 	"jointstream/internal/signal"
 	"jointstream/internal/units"
@@ -68,6 +69,18 @@ func (s *Session) Prewarm(slots int) {
 	if s.rates != nil && slots > 0 {
 		s.rates.grow(slots, s.BaseRate, s.RateJitter)
 	}
+}
+
+// PrewarmAll prewarms every session to the slot horizon, fanning the
+// sessions across at most `workers` goroutines. Each session owns its
+// memos and rng streams (Generate gives VBR sessions split, independent
+// sources), so the values produced are identical to a serial loop; the
+// parallelism only matters at large N, where prewarming dominates
+// simulator construction. workers <= 1 prewarm serially.
+func PrewarmAll(workers int, sessions []*Session, slots int) {
+	pool.Shard(workers, len(sessions), func(i int) {
+		sessions[i].Prewarm(slots)
+	})
 }
 
 // rateSeq memoizes per-slot rate draws so RateAt is repeatable.
