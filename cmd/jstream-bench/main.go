@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"jointstream/internal/experiments"
@@ -32,6 +34,13 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain parses flags, wraps the dispatched mode in the optional
+// pprof collectors, and funnels every mode through one exit path so
+// deferred profile writers always run (os.Exit skips defers).
+func realMain() int {
 	var (
 		figID      = flag.String("fig", "all", "figure to regenerate: all|2|3|4a|4b|5a|5b|6|7|8a|8b|9a|9b|10")
 		quick      = flag.Bool("quick", false, "use the miniature CI workload")
@@ -50,39 +59,94 @@ func main() {
 		tickUsers  = flag.String("tickusers", "1000,10000", "comma-separated cell sizes N for -tick/-tickdiff")
 		tickSlots  = flag.Int("tickslots", 0, "override the per-tier slot horizon for -tick/-tickdiff (0 scales with N)")
 		tickReps   = flag.Int("tickreps", 3, "repetitions per tick configuration (best is kept)")
+		sweepOut   = flag.String("sweep", "", "time the full parallel figure sweep and write a JSON report to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected mode to this file")
 	)
 	flag.Parse()
-	if *tickOut != "" {
-		if err := runTick(*tickOut, *tickUsers, *tickSlots, *tickReps); err != nil {
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "jstream-bench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
-	}
-	if *tickDiff != "" {
-		if err := runTickDiff(*tickDiff, *tickUsers, *tickSlots, *tickReps, *tickTol); err != nil {
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "jstream-bench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		defer pprof.StopCPUProfile()
 	}
-	if *ext != "" {
-		if err := runExt(*ext, *quick, *seed, *seeds); err != nil {
-			fmt.Fprintln(os.Stderr, "jstream-bench:", err)
-			os.Exit(1)
+
+	err := dispatch(dispatchArgs{
+		figID: *figID, quick: *quick, claimsOnly: *claimsOnly, seed: *seed,
+		ext: *ext, seeds: *seeds, jsonOut: *jsonOut, parallel: *parallel,
+		htmlOut: *htmlOut, diffBase: *diffBase, diffTol: *diffTol,
+		tickOut: *tickOut, tickDiff: *tickDiff, tickTol: *tickTol,
+		tickUsers: *tickUsers, tickSlots: *tickSlots, tickReps: *tickReps,
+		sweepOut: *sweepOut,
+	})
+
+	if *memProfile != "" {
+		f, perr := os.Create(*memProfile)
+		if perr == nil {
+			runtime.GC() // settle allocations so the heap profile reflects retention
+			perr = pprof.WriteHeapProfile(f)
+			f.Close()
 		}
-		return
-	}
-	if *diffBase != "" {
-		if err := runDiff(*diffBase, *quick, *seed, *diffTol); err != nil {
-			fmt.Fprintln(os.Stderr, "jstream-bench:", err)
-			os.Exit(1)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "jstream-bench: memprofile:", perr)
+			if err == nil {
+				err = perr
+			}
 		}
-		return
 	}
-	if err := run(*figID, *quick, *claimsOnly, *seed, *jsonOut, *htmlOut, *parallel); err != nil {
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "jstream-bench:", err)
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+type dispatchArgs struct {
+	figID      string
+	quick      bool
+	claimsOnly bool
+	seed       uint64
+	ext        string
+	seeds      int
+	jsonOut    string
+	parallel   bool
+	htmlOut    string
+	diffBase   string
+	diffTol    float64
+	tickOut    string
+	tickDiff   string
+	tickTol    float64
+	tickUsers  string
+	tickSlots  int
+	tickReps   int
+	sweepOut   string
+}
+
+// dispatch picks the first requested mode, mirroring the historical
+// flag precedence.
+func dispatch(a dispatchArgs) error {
+	switch {
+	case a.tickOut != "":
+		return runTick(a.tickOut, a.tickUsers, a.tickSlots, a.tickReps)
+	case a.tickDiff != "":
+		return runTickDiff(a.tickDiff, a.tickUsers, a.tickSlots, a.tickReps, a.tickTol)
+	case a.sweepOut != "":
+		return runSweep(a.sweepOut, a.quick, a.seed)
+	case a.ext != "":
+		return runExt(a.ext, a.quick, a.seed, a.seeds)
+	case a.diffBase != "":
+		return runDiff(a.diffBase, a.quick, a.seed, a.diffTol)
+	default:
+		return run(a.figID, a.quick, a.claimsOnly, a.seed, a.jsonOut, a.htmlOut, a.parallel)
 	}
 }
 
@@ -159,6 +223,7 @@ func runDiff(baseline string, quick bool, seed uint64, tol float64) error {
 	if err != nil {
 		return err
 	}
+	logWorkloadCache(r)
 	diffs, err := experiments.Diff(got, want, tol)
 	if err != nil {
 		return err
@@ -221,6 +286,7 @@ func run(figID string, quick, claimsOnly bool, seed uint64, jsonOut, htmlOut str
 		if err != nil {
 			return err
 		}
+		logWorkloadCache(r)
 		for _, figure := range rendered {
 			if err := experiments.Render(os.Stdout, figure); err != nil {
 				return err
@@ -274,6 +340,14 @@ func run(figID string, quick, claimsOnly bool, seed uint64, jsonOut, htmlOut str
 		return printClaims(r)
 	}
 	return nil
+}
+
+// logWorkloadCache echoes how many simulations reused a shared
+// scenario workload (generation + link-table compilation amortized).
+func logWorkloadCache(r *experiments.Runner) {
+	hits, misses := r.WorkloadCacheStats()
+	fmt.Printf("workload cache: %d hits, %d misses (%d scenarios compiled once, reused %d times)\n",
+		hits, misses, misses, hits)
 }
 
 func printClaims(r *experiments.Runner) error {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"jointstream/internal/experiments"
+)
+
+// This file implements -sweep: time one full parallel figure sweep and
+// write a machine-readable report. Unlike -tick (which isolates the
+// engine's per-slot cost), -sweep measures the end-to-end harness —
+// workload cache, link tables, figure fan-out — so its numbers reflect
+// what a user of jstream-bench actually waits for. CI uploads the
+// quick-scale report as an artifact to make harness-level regressions
+// visible across runs.
+
+// sweepReport is the JSON document -sweep writes.
+type sweepReport struct {
+	Cores               int     `json:"cores"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
+	GoVersion           string  `json:"go_version"`
+	Scale               string  `json:"scale"` // "paper" or "quick"
+	Seconds             float64 `json:"seconds"`
+	Figures             int     `json:"figures"`
+	WorkloadCacheHits   int64   `json:"workload_cache_hits"`
+	WorkloadCacheMisses int64   `json:"workload_cache_misses"`
+}
+
+// runSweep regenerates every figure with AllParallel, times the sweep,
+// and writes the report.
+func runSweep(outPath string, quick bool, seed uint64) error {
+	opts := experiments.PaperOptions()
+	scale := "paper"
+	if quick {
+		opts = experiments.QuickOptions()
+		scale = "quick"
+	}
+	if seed != 0 {
+		opts.Seed = seed
+	}
+	r, err := experiments.NewRunner(opts)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	figs, err := r.AllParallel(context.Background(), 0)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	hits, misses := r.WorkloadCacheStats()
+
+	rep := sweepReport{
+		Cores:               runtime.NumCPU(),
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		GoVersion:           runtime.Version(),
+		Scale:               scale,
+		Seconds:             elapsed.Seconds(),
+		Figures:             len(figs),
+		WorkloadCacheHits:   hits,
+		WorkloadCacheMisses: misses,
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("sweep: %d figures in %.2fs (%s scale, %d cores)\n",
+		rep.Figures, rep.Seconds, rep.Scale, rep.Cores)
+	logWorkloadCache(r)
+	fmt.Printf("report written to %s\n", outPath)
+	return nil
+}

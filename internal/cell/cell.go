@@ -63,6 +63,18 @@ type Config struct {
 	// only thing that affects floating-point summation grouping, so tests
 	// shrink it to exercise multi-shard reduction at small N.
 	ShardSize int
+	// Link, when non-nil, is a precompiled link table (CompileLink) the
+	// run reads instead of compiling its own — the experiment harness
+	// compiles one per scenario and shares it across every scheduler run.
+	// It must have been compiled from the same sessions, radio model and
+	// slot grid; New rejects mismatched user counts, horizons and grids.
+	Link *LinkTable
+	// LinkTableMaxRows bounds the automatic link-table compilation in
+	// New: 0 selects the 4M-row (~160 MB) default, negative disables
+	// compilation entirely (the tick path then evaluates the radio model
+	// through the interfaces, as before the link-table layer). A
+	// caller-supplied Link is used regardless of this cap.
+	LinkTableMaxRows int
 }
 
 // PaperConfig returns the §VI defaults: τ = 1 s, S = 20 MB/s, 10000-slot
@@ -322,8 +334,9 @@ type Simulator struct {
 	alloc []int
 
 	// Engine state for the sharded active-list tick path (Run).
-	workers   int   // resolved Config.Workers (0 → GOMAXPROCS)
-	shardSize int   // resolved Config.ShardSize (0 → defaultShardSize)
+	workers   int        // resolved Config.Workers (0 → GOMAXPROCS)
+	shardSize int        // resolved Config.ShardSize (0 → defaultShardSize)
+	link      *LinkTable // flattened link view; nil → interface path
 	live      []int // started, unretired users, ascending index
 	pending   []int // not-yet-started users, ordered by (StartSlot, index)
 	// unfinished counts users that keep the run going: not started yet,
@@ -394,6 +407,28 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 	// the sharded prepare phase can read them concurrently because no
 	// memo grows mid-run.
 	workload.PrewarmAll(sim.workers, sessions, cfg.MaxSlots)
+	// Attach (or compile) the flattened link view the tick path reads in
+	// place of the signal/radio interfaces. A caller-supplied table is
+	// validated against this run's shape; otherwise one is compiled here
+	// unless the run exceeds the memory cap or compilation is disabled.
+	if cfg.Link != nil {
+		if err := cfg.Link.compatible(cfg, len(sessions)); err != nil {
+			return nil, err
+		}
+		sim.link = cfg.Link
+	} else if cfg.LinkTableMaxRows >= 0 {
+		maxRows := cfg.LinkTableMaxRows
+		if maxRows == 0 {
+			maxRows = DefaultLinkTableMaxRows
+		}
+		if int64(len(sessions))*int64(cfg.MaxSlots) <= int64(maxRows) {
+			lt, err := CompileLink(cfg, sessions)
+			if err != nil {
+				return nil, err
+			}
+			sim.link = lt
+		}
+	}
 	sim.slot = sched.Slot{
 		Tau:           cfg.Tau,
 		Unit:          cfg.Unit,
@@ -458,21 +493,40 @@ func (s *Simulator) begin() error {
 }
 
 // prepareUser fills user i's scheduler view for slot slotIdx and reports
-// whether the user is active (wants data this slot). It reads only
-// prewarmed session memos and writes only user-i state, so distinct
-// users prepare concurrently.
+// whether the user is active (wants data this slot). It reads only the
+// link table (or prewarmed session memos) and writes only user-i state,
+// so distinct users prepare concurrently.
 func (s *Simulator) prepareUser(slotIdx, i int) bool {
 	u := s.users[i]
 	sess := u.session
 	started := slotIdx >= sess.StartSlot
 	active := started && !u.buf.DeliveryComplete()
-	sig := sess.Signal.At(slotIdx)
-	link := s.cfg.Radio.Throughput.Throughput(sig)
-	// Required rate and remaining demand: fixed-rate sessions use
-	// the workload's rate and byte remainder; ABR sessions pick
-	// the rate from the player's buffer, and the remainder is the
-	// undelivered content time priced at that rate.
-	rate := sess.RateAt(slotIdx)
+	// Cross-layer link view: one packed row read when the table is
+	// compiled, the original interface walk otherwise. The flattened
+	// values are bitwise-identical by construction (asserted by the
+	// engine differential tests, which run the reference arm without
+	// the table).
+	var (
+		sig       units.DBm
+		link      units.KBps
+		epkb      units.MJ
+		rate      units.KBps
+		linkUnits int
+	)
+	if lt := s.link; lt != nil {
+		r := &lt.rows[slotIdx*lt.users+i]
+		sig, link, epkb, rate, linkUnits = r.sig, r.link, r.epkb, r.rate, int(r.linkUnits)
+	} else {
+		sig = sess.Signal.At(slotIdx)
+		link = s.cfg.Radio.Throughput.Throughput(sig)
+		epkb = s.cfg.Radio.Power.EnergyPerKB(sig)
+		rate = sess.RateAt(slotIdx)
+		linkUnits = floorUnits(float64(link)*float64(s.cfg.Tau), float64(s.cfg.Unit))
+	}
+	// Remaining demand: fixed-rate sessions use the workload's rate and
+	// byte remainder; ABR sessions pick the rate from the player's
+	// buffer, and the remainder is the undelivered content time priced
+	// at that rate.
 	remainingKB := u.buf.RemainingBytes()
 	if u.abrCtl != nil {
 		if active {
@@ -489,7 +543,7 @@ func (s *Simulator) prepareUser(slotIdx, i int) bool {
 		}
 		remainingKB = units.KB(float64(wantSec) * float64(rate))
 	}
-	maxUnits := floorUnits(float64(link)*float64(s.cfg.Tau), float64(s.cfg.Unit))
+	maxUnits := linkUnits
 	remUnits := ceilUnits(float64(remainingKB), float64(s.cfg.Unit))
 	if maxUnits > remUnits {
 		maxUnits = remUnits
@@ -502,7 +556,7 @@ func (s *Simulator) prepareUser(slotIdx, i int) bool {
 		Active:      active,
 		Sig:         sig,
 		LinkRate:    link,
-		EnergyPerKB: s.cfg.Radio.Power.EnergyPerKB(sig),
+		EnergyPerKB: epkb,
 		Rate:        rate,
 		BufferSec:   u.buf.Occupancy(),
 		RemainingKB: remainingKB,
@@ -547,9 +601,12 @@ func (s *Simulator) commitUser(slotIdx, i int, res *Result, acc *slotAccum) erro
 	}
 
 	// Energy per Eq. (5): transmission when scheduled, tail when not.
+	// Eq. (3) reuses the per-KB price already materialized in the
+	// scheduler view (P is a pure function of the slot's signal), so the
+	// commit phase never re-enters the radio interfaces.
 	var slotEnergy units.MJ
 	if granted > 0 {
-		slotEnergy = s.cfg.Radio.TransmissionEnergy(view.Sig, deliveredKB)
+		slotEnergy = units.MJ(float64(view.EnergyPerKB) * float64(deliveredKB))
 		res.Users[i].TransEnergy += slotEnergy
 		res.Users[i].ActiveSlots++
 		u.machine.Transfer()

@@ -1,0 +1,176 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"jointstream/internal/pool"
+	"jointstream/internal/radio"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// This file implements the compiled link-table layer: after the sessions
+// are prewarmed, every user's trace is flattened into one contiguous
+// slot-major array of per-slot link rows — signal, throughput, per-KB
+// energy, required rate, and the Eq. (1) link limit in units. The tick
+// path's prepare phase then reads a packed 40-byte row per user-slot
+// instead of walking Signal.At → Throughput → EnergyPerKB through three
+// interface dispatches, and the radio curves are evaluated through a
+// quantized radio.Table when (and only when) that table is bitwise-exact
+// for the run's model, so flattening can never perturb the physics.
+// RunReference deliberately ignores the table, which makes the engine
+// differential tests assert flattened == analytic on every slot.
+
+// linkRow is one user-slot of the flattened link view.
+type linkRow struct {
+	sig  units.DBm
+	link units.KBps
+	epkb units.MJ
+	rate units.KBps
+	// linkUnits is ⌊τ·v(sig)/δ⌋, the Eq. (1) per-user limit before the
+	// remaining-demand cap.
+	linkUnits int32
+}
+
+// LinkTable is the immutable flattened link view of one workload under
+// one radio model and slot grid. It is safe to share across any number
+// of concurrent Simulators (the experiment harness compiles one per
+// scenario and hands it to every scheduler run); nothing in the engine
+// writes to it.
+type LinkTable struct {
+	users int
+	slots int
+	tau   units.Seconds
+	unit  units.KB
+	lut   bool // rows were produced through an exact radio.Table
+	rows  []linkRow
+}
+
+// linkTableBins is the quantizer resolution of the radio LUT used during
+// flattening. For the paper's affine fits any bin count is exact; for
+// generic models the compiler falls back to direct calls regardless.
+const linkTableBins = 4096
+
+// DefaultLinkTableMaxRows caps the automatic link-table compilation in
+// New at users×MaxSlots rows (40 B each): 4M rows ≈ 160 MB. Larger runs
+// fall back to the uncompiled prepare path; callers that want a bigger
+// table compile one explicitly and pass it via Config.Link.
+const DefaultLinkTableMaxRows = 4 << 20
+
+// CompileLink flattens the sessions' per-slot link view for cfg's slot
+// grid and radio model. It prewarms the sessions to cfg.MaxSlots first
+// (idempotent if the caller already did), so the produced values are
+// exactly the ones the uncompiled tick path would compute.
+func CompileLink(cfg Config, sessions []*workload.Session) (*LinkTable, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("cell: link table needs at least one session")
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	users, slots := len(sessions), cfg.MaxSlots
+	workload.PrewarmAll(workers, sessions, slots)
+
+	t := &LinkTable{
+		users: users,
+		slots: slots,
+		tau:   cfg.Tau,
+		unit:  cfg.Unit,
+		rows:  make([]linkRow, users*slots),
+	}
+
+	// Pass A: flatten the stochastic per-user sequences (signal, rate)
+	// and find the observed signal domain for the quantizer. Each shard
+	// owns one user's column, so shards write disjoint rows.
+	type sigRange struct{ lo, hi float64 }
+	ranges := make([]sigRange, users)
+	pool.Shard(workers, users, func(i int) {
+		sess := sessions[i]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for n := 0; n < slots; n++ {
+			r := &t.rows[n*users+i]
+			sig := sess.Signal.At(n)
+			r.sig = sig
+			r.rate = sess.RateAt(n)
+			if float64(sig) < lo {
+				lo = float64(sig)
+			}
+			if float64(sig) > hi {
+				hi = float64(sig)
+			}
+		}
+		ranges[i] = sigRange{lo, hi}
+	})
+	lo, hi := ranges[0].lo, ranges[0].hi
+	for _, r := range ranges[1:] {
+		lo, hi = math.Min(lo, r.lo), math.Max(hi, r.hi)
+	}
+
+	// Pass B: evaluate the radio curves. The quantized LUT is used only
+	// when it is provably bitwise-exact for this model; otherwise each
+	// row calls the analytic model directly (still once per user-slot,
+	// still outside the tick path).
+	lut, err := radio.NewTable(cfg.Radio, units.DBm(lo), units.DBm(hi), linkTableBins)
+	if err != nil {
+		return nil, err
+	}
+	t.lut = lut.Exact()
+	tau, unit := float64(cfg.Tau), float64(cfg.Unit)
+	pool.Shard(workers, users, func(i int) {
+		for n := 0; n < slots; n++ {
+			r := &t.rows[n*users+i]
+			var v units.KBps
+			var p units.MJ
+			if t.lut {
+				v, p = lut.Lookup(r.sig)
+			} else {
+				v = cfg.Radio.Throughput.Throughput(r.sig)
+				p = cfg.Radio.Power.EnergyPerKB(r.sig)
+			}
+			r.link = v
+			r.epkb = p
+			r.linkUnits = int32(floorUnits(float64(v)*tau, unit))
+		}
+	})
+	return t, nil
+}
+
+// Users returns the user count the table was compiled for.
+func (t *LinkTable) Users() int { return t.users }
+
+// Slots returns the slot horizon the table covers.
+func (t *LinkTable) Slots() int { return t.slots }
+
+// ViaLUT reports whether the rows were produced through an exact
+// quantized radio.Table (false means direct analytic evaluation).
+func (t *LinkTable) ViaLUT() bool { return t.lut }
+
+// MemoryBytes returns the size of the packed row array.
+func (t *LinkTable) MemoryBytes() int64 {
+	return int64(len(t.rows)) * int64(40)
+}
+
+// compatible checks that a caller-supplied table matches the run it is
+// being attached to. The radio model itself cannot be compared through
+// the interfaces; callers must compile the table from the same model
+// (the experiment harness does), which the engine differential tests
+// cross-check.
+func (t *LinkTable) compatible(cfg Config, users int) error {
+	if t.users != users {
+		return fmt.Errorf("cell: link table compiled for %d users, run has %d", t.users, users)
+	}
+	if t.slots < cfg.MaxSlots {
+		return fmt.Errorf("cell: link table covers %d slots, run needs %d", t.slots, cfg.MaxSlots)
+	}
+	if t.tau != cfg.Tau || t.unit != cfg.Unit {
+		return fmt.Errorf("cell: link table slot grid (tau=%v, unit=%v) != run (tau=%v, unit=%v)",
+			t.tau, t.unit, cfg.Tau, cfg.Unit)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package cell
+
+import (
+	"reflect"
+	"testing"
+
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/signal"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// linkTestTraces builds one trace per stochastic generator so the
+// flattening property is checked against qualitatively different
+// channel dynamics, not just the paper's sine.
+func linkTestTraces(t *testing.T, n int) map[string][]signal.Trace {
+	t.Helper()
+	src := rng.New(7)
+	mk := func(name string, build func(i int) (signal.Trace, error)) []signal.Trace {
+		out := make([]signal.Trace, n)
+		for i := range out {
+			tr, err := build(i)
+			if err != nil {
+				t.Fatalf("%s trace %d: %v", name, i, err)
+			}
+			out[i] = tr
+		}
+		return out
+	}
+	return map[string][]signal.Trace{
+		"sine+wgn": mk("sine", func(i int) (signal.Trace, error) {
+			return signal.NewSine(signal.SineConfig{
+				Bounds:      signal.DefaultBounds,
+				PeriodSlots: 120,
+				Phase:       float64(i),
+				NoiseStdDBm: 10,
+			}, src)
+		}),
+		"randomwalk": mk("walk", func(i int) (signal.Trace, error) {
+			return signal.NewRandomWalk(signal.RandomWalkConfig{
+				Bounds:  signal.DefaultBounds,
+				Start:   units.DBm(-80 - i),
+				StepStd: 2.5,
+			}, src)
+		}),
+		"gilbert-elliott": mk("ge", func(i int) (signal.Trace, error) {
+			return signal.NewGilbertElliott(signal.GilbertElliottConfig{
+				Bounds: signal.DefaultBounds,
+				Good:   -60, Bad: -100,
+				PGoodToBad: 0.05, PBadToGood: 0.1,
+				JitterStd: 3,
+			}, src)
+		}),
+	}
+}
+
+// TestLinkTableMatchesAnalytic is the flattening property: for every
+// generator, every user, and every slot, the packed row equals what the
+// uncompiled tick path would compute from the interfaces — signal,
+// throughput, per-KB energy, required rate, and the floored Eq. (1)
+// link limit. Equality is ==, not approximate.
+func TestLinkTableMatchesAnalytic(t *testing.T) {
+	const users, slots = 5, 400
+	cfg := PaperConfig()
+	cfg.MaxSlots = slots
+	for name, traces := range linkTestTraces(t, users) {
+		t.Run(name, func(t *testing.T) {
+			sessions := make([]*workload.Session, users)
+			for i := range sessions {
+				sessions[i] = &workload.Session{
+					ID: i, Size: 5000, BaseRate: units.KBps(300 + 50*i), Signal: traces[i],
+				}
+			}
+			lt, err := CompileLink(cfg, sessions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lt.Users() != users || lt.Slots() != slots {
+				t.Fatalf("table shape %dx%d, want %dx%d", lt.Users(), lt.Slots(), users, slots)
+			}
+			tau, unit := float64(cfg.Tau), float64(cfg.Unit)
+			for n := 0; n < slots; n++ {
+				for i, sess := range sessions {
+					r := &lt.rows[n*users+i]
+					sig := sess.Signal.At(n)
+					if r.sig != sig {
+						t.Fatalf("user %d slot %d: sig %v != %v", i, n, r.sig, sig)
+					}
+					if v := cfg.Radio.Throughput.Throughput(sig); r.link != v {
+						t.Fatalf("user %d slot %d: link %v != %v", i, n, r.link, v)
+					}
+					if p := cfg.Radio.Power.EnergyPerKB(sig); r.epkb != p {
+						t.Fatalf("user %d slot %d: energy/KB %v != %v", i, n, r.epkb, p)
+					}
+					if rate := sess.RateAt(n); r.rate != rate {
+						t.Fatalf("user %d slot %d: rate %v != %v", i, n, r.rate, rate)
+					}
+					want := floorUnits(float64(cfg.Radio.Throughput.Throughput(sig))*tau, unit)
+					if int(r.linkUnits) != want {
+						t.Fatalf("user %d slot %d: linkUnits %d != %d", i, n, r.linkUnits, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunBitwiseEqualWithLinkTable runs the full engine with the table
+// enabled and disabled and requires identical Results — flattening is
+// plumbing, not physics.
+func TestRunBitwiseEqualWithLinkTable(t *testing.T) {
+	wl, err := workload.Generate(workload.PaperDefaults(8), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := PaperConfig()
+	base.MaxSlots = 1500
+	runWith := func(maxRows int) *Result {
+		cfg := base
+		cfg.LinkTableMaxRows = maxRows
+		sim, err := New(cfg, wl, sched.NewDefault())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (maxRows >= 0) != (sim.link != nil) {
+			t.Fatalf("maxRows=%d: link table presence %v", maxRows, sim.link != nil)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := runWith(0)     // auto-compiled table
+	without := runWith(-1) // interface path
+	if !reflect.DeepEqual(with, without) {
+		t.Error("Result differs between link-table and analytic runs")
+	}
+}
+
+// TestAutoLinkTableCap checks the size gate: a run over the row cap
+// falls back to the interface path instead of allocating a huge table.
+func TestAutoLinkTableCap(t *testing.T) {
+	wl, err := workload.Generate(workload.PaperDefaults(4), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PaperConfig()
+	cfg.MaxSlots = 100
+	cfg.LinkTableMaxRows = 4*100 - 1 // one row short of fitting
+	sim, err := New(cfg, wl, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.link != nil {
+		t.Error("over-cap run compiled a table")
+	}
+	cfg.LinkTableMaxRows = 4 * 100
+	sim, err = New(cfg, wl, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.link == nil {
+		t.Error("at-cap run skipped the table")
+	}
+}
+
+// TestConfigLinkCompatibility rejects caller-supplied tables that do not
+// match the run.
+func TestConfigLinkCompatibility(t *testing.T) {
+	wl, err := workload.Generate(workload.PaperDefaults(4), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PaperConfig()
+	cfg.MaxSlots = 100
+	lt, err := CompileLink(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := cfg
+	good.Link = lt
+	if _, err := New(good, wl, sched.NewDefault()); err != nil {
+		t.Fatalf("matching table rejected: %v", err)
+	}
+
+	short := cfg
+	short.Link = lt
+	short.MaxSlots = 101
+	if _, err := New(short, wl, sched.NewDefault()); err == nil {
+		t.Error("table with too few slots accepted")
+	}
+
+	grid := cfg
+	grid.Link = lt
+	grid.Tau = cfg.Tau * 2
+	if _, err := New(grid, wl, sched.NewDefault()); err == nil {
+		t.Error("table with mismatched slot grid accepted")
+	}
+
+	fewer, err := workload.Generate(workload.PaperDefaults(3), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	usersCfg := cfg
+	usersCfg.Link = lt
+	if _, err := New(usersCfg, fewer, sched.NewDefault()); err == nil {
+		t.Error("table with wrong user count accepted")
+	}
+}
+
+// TestCompileLinkUsesLUTForPaperModel pins that the paper model goes
+// through the exact quantized radio table (the devirtualized path) and
+// that MemoryBytes reflects the packed layout.
+func TestCompileLinkUsesLUTForPaperModel(t *testing.T) {
+	wl, err := workload.Generate(workload.PaperDefaults(3), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PaperConfig()
+	cfg.MaxSlots = 50
+	lt, err := CompileLink(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lt.ViaLUT() {
+		t.Error("paper model did not compile through the exact LUT")
+	}
+	if got, want := lt.MemoryBytes(), int64(3*50*40); got != want {
+		t.Errorf("MemoryBytes %d, want %d", got, want)
+	}
+}

@@ -17,6 +17,10 @@ func (s *Simulator) RunReference() (*Result, error) {
 	slot := &s.slot
 	alloc := s.alloc
 	slot.ActiveList = nil // schedulers exercise their full-scan fallback
+	// The reference arm always evaluates the signal and radio models
+	// analytically, so the differential tests assert the flattened link
+	// table reproduces the interface path bitwise.
+	s.link = nil
 
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
 		slot.N = slotIdx

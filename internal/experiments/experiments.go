@@ -159,12 +159,35 @@ type Figure struct {
 // shared Default reference runs are computed once. Runner is safe for
 // concurrent use: simultaneous requests for the same run coalesce onto a
 // single simulation (singleflight), so AllParallel never duplicates work.
+//
+// Beneath the result cache sits a workload cache: every scenario's
+// sessions are generated and prewarmed once, their link table compiled
+// once, and the pair shared read-only by every scheduler run over that
+// scenario (a (users, avgSize) scenario is simulated by up to eight
+// schedulers plus the EMA calibration ladder). Sharing is safe because
+// the workload leader fully prewarms the traces and compiles the table
+// before publishing, after which every later Prewarm over the same
+// horizon is a read-only no-op and nothing in the engine writes to
+// sessions or table.
 type Runner struct {
 	opts Options
 
 	mu       sync.Mutex
 	cache    map[string]*cell.Result
 	inflight map[string]chan struct{}
+
+	wlMu       sync.Mutex
+	wlCache    map[string]*sharedWorkload
+	wlInflight map[string]chan struct{}
+	wlHits     int64
+	wlMisses   int64
+}
+
+// sharedWorkload is one scenario's immutable prewarmed workload plus its
+// compiled link table (nil when the table would exceed the size cap).
+type sharedWorkload struct {
+	sessions []*workload.Session
+	link     *cell.LinkTable
 }
 
 // NewRunner validates the options and returns a Runner.
@@ -173,9 +196,11 @@ func NewRunner(opts Options) (*Runner, error) {
 		return nil, err
 	}
 	return &Runner{
-		opts:     opts,
-		cache:    make(map[string]*cell.Result),
-		inflight: make(map[string]chan struct{}),
+		opts:       opts,
+		cache:      make(map[string]*cell.Result),
+		inflight:   make(map[string]chan struct{}),
+		wlCache:    make(map[string]*sharedWorkload),
+		wlInflight: make(map[string]chan struct{}),
 	}, nil
 }
 
@@ -184,6 +209,16 @@ func (r *Runner) cacheSize() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.cache)
+}
+
+// WorkloadCacheStats reports how often simulations reused an
+// already-generated scenario workload: hits are runs that skipped both
+// workload generation and link-table compilation; misses are the
+// distinct scenarios actually built.
+func (r *Runner) WorkloadCacheStats() (hits, misses int64) {
+	r.wlMu.Lock()
+	defer r.wlMu.Unlock()
+	return r.wlHits, r.wlMisses
 }
 
 // Options returns the runner's options.
@@ -245,19 +280,83 @@ func (r *Runner) run(sc scenario, sb schedBuilder) (*cell.Result, error) {
 	}
 }
 
-// simulate performs the actual run (no caching).
-func (r *Runner) simulate(sc scenario, sb schedBuilder) (*cell.Result, error) {
-	cfg := r.opts.Cell
-	cfg.RecordPerUserSlots = sc.recordCDF
+// workloadFor returns the scenario's shared workload, generating and
+// compiling it on first request. The key deliberately omits recordCDF —
+// recording per-user samples changes what a run collects, not the
+// demand or the channel, so CDF and non-CDF runs share one workload.
+// The per-Runner option knobs that shape generation (seed, signal
+// period, jitter, interarrival) are constants of the Runner, so (users,
+// avgSize) identifies the workload completely.
+func (r *Runner) workloadFor(sc scenario) (*sharedWorkload, error) {
+	key := fmt.Sprintf("n=%d|mb=%g", sc.users, sc.avgSizeMB)
+	for {
+		r.wlMu.Lock()
+		if sw, ok := r.wlCache[key]; ok {
+			r.wlHits++
+			r.wlMu.Unlock()
+			return sw, nil
+		}
+		if wait, ok := r.wlInflight[key]; ok {
+			r.wlMu.Unlock()
+			<-wait
+			continue
+		}
+		done := make(chan struct{})
+		r.wlInflight[key] = done
+		r.wlMisses++
+		r.wlMu.Unlock()
+
+		sw, err := r.buildWorkload(sc)
+
+		r.wlMu.Lock()
+		delete(r.wlInflight, key)
+		if err == nil {
+			r.wlCache[key] = sw
+		}
+		r.wlMu.Unlock()
+		close(done)
+		return sw, err
+	}
+}
+
+// buildWorkload generates, prewarms, and link-compiles one scenario
+// workload. After it returns, the sessions' stochastic memos cover the
+// full horizon, so sharing them across concurrent simulators is safe.
+func (r *Runner) buildWorkload(sc scenario) (*sharedWorkload, error) {
 	wl, err := workload.Generate(sc.workload(r.opts), rng.New(r.opts.Seed))
 	if err != nil {
 		return nil, err
 	}
+	sw := &sharedWorkload{sessions: wl}
+	maxRows := r.opts.Cell.LinkTableMaxRows
+	if maxRows == 0 {
+		maxRows = cell.DefaultLinkTableMaxRows
+	}
+	if maxRows > 0 && int64(len(wl))*int64(r.opts.Cell.MaxSlots) <= int64(maxRows) {
+		lt, err := cell.CompileLink(r.opts.Cell, wl)
+		if err != nil {
+			return nil, err
+		}
+		sw.link = lt
+	}
+	return sw, nil
+}
+
+// simulate performs the actual run (no result caching; the scenario's
+// workload and link table come from the shared workload cache).
+func (r *Runner) simulate(sc scenario, sb schedBuilder) (*cell.Result, error) {
+	cfg := r.opts.Cell
+	cfg.RecordPerUserSlots = sc.recordCDF
+	sw, err := r.workloadFor(sc)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Link = sw.link
 	s, err := sb.build()
 	if err != nil {
 		return nil, err
 	}
-	sim, err := cell.New(cfg, wl, s)
+	sim, err := cell.New(cfg, sw.sessions, s)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -412,5 +413,85 @@ func TestSingleflightCoalesces(t *testing.T) {
 	wg.Wait()
 	if got := r.cacheSize(); got != 1 {
 		t.Errorf("cache has %d entries, want 1", got)
+	}
+}
+
+// TestWorkloadCacheShares asserts every run over one scenario reuses a
+// single generated workload: one miss per distinct (users, avgSize)
+// pair, hits for everything else, and pointer-identical sessions.
+func TestWorkloadCacheShares(t *testing.T) {
+	r := quickRunner(t)
+	sc := scenario{users: r.opts.CDFUsers, avgSizeMB: r.opts.CDFAvgSizeMB}
+	a, err := r.workloadFor(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.workloadFor(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same scenario returned distinct workloads")
+	}
+	// The CDF-recording variant shares the non-CDF workload too.
+	c, err := r.workloadFor(scenario{users: sc.users, avgSizeMB: sc.avgSizeMB, recordCDF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Error("CDF scenario did not reuse the workload")
+	}
+	if hits, misses := r.WorkloadCacheStats(); misses != 1 || hits != 2 {
+		t.Errorf("stats hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if a.link == nil {
+		t.Fatal("quick scenario should compile a link table")
+	}
+	if a.link.Users() != sc.users {
+		t.Errorf("link table users %d, want %d", a.link.Users(), sc.users)
+	}
+}
+
+// TestWorkloadCacheMissPerScenario runs a figure that spans several
+// scenarios and checks misses equal the distinct scenario count.
+func TestWorkloadCacheMissPerScenario(t *testing.T) {
+	r := quickRunner(t)
+	if _, err := r.Fig4a(); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.WorkloadCacheStats()
+	if want := int64(len(r.opts.UserCounts)); misses != want {
+		t.Errorf("misses %d, want one per user-count scenario (%d)", misses, want)
+	}
+	if hits == 0 {
+		t.Error("no workload cache hits across a multi-scheduler figure")
+	}
+}
+
+// TestWorkloadCacheBitwiseNeutral regenerates a figure with the link
+// table disabled and a cold workload per run (fresh runner each time)
+// and requires byte-identical output: caching and flattening are pure
+// plumbing, never physics.
+func TestWorkloadCacheBitwiseNeutral(t *testing.T) {
+	withTable := quickRunner(t)
+	figA, err := withTable.Fig4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := QuickOptions()
+	opts.Cell.LinkTableMaxRows = -1 // interface path in every simulator
+	withoutTable, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figB, err := withoutTable.Fig4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(figA, figB) {
+		t.Error("figure differs between link-table and analytic runs")
+	}
+	if a, _ := withTable.WorkloadCacheStats(); a == 0 {
+		t.Error("link-table runner recorded no cache hits")
 	}
 }

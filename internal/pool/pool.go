@@ -9,14 +9,25 @@ package pool
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 )
 
 // Map runs fn over every item of xs using at most workers goroutines and
 // returns the results in input order. The first error (or worker panic)
 // cancels the remaining jobs via the context passed to fn; already-running
-// jobs finish. workers <= 0 selects GOMAXPROCS.
+// jobs finish. workers <= 0 selects the free worker budget (GOMAXPROCS
+// by default).
+//
+// Map participates in the process-wide worker budget (see
+// SetWorkerBudget) so concurrent fan-outs share the machine instead of
+// each assuming it is alone. An explicit workers > 0 is honored exactly
+// — callers ask for more than GOMAXPROCS when jobs block rather than
+// burn CPU — and that many workers are debited from the budget, which
+// starves nested elastic fan-outs (Shard, workers<=0 Map) into running
+// inline rather than oversubscribing. workers <= 0 is the elastic
+// request: it takes however many workers the budget has free (the
+// budget defaults to GOMAXPROCS). Either way results are collected in
+// input order, so the granted worker count never changes the output.
 func Map[T, R any](ctx context.Context, workers int, xs []T, fn func(context.Context, T) (R, error)) ([]R, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("pool: nil function")
@@ -25,12 +36,18 @@ func Map[T, R any](ctx context.Context, workers int, xs []T, fn func(context.Con
 	if n == 0 {
 		return nil, nil
 	}
+	var extra int
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		extra = acquireExtra(n - 1) // the budget itself caps the take
+	} else {
+		if workers > n {
+			workers = n
+		}
+		extra = workers - 1
+		debitExtra(extra)
 	}
-	if workers > n {
-		workers = n
-	}
+	defer releaseExtra(extra)
+	workers = 1 + extra
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

@@ -17,6 +17,13 @@ import (
 // loop inline on the caller's goroutine, which the simulator relies on
 // for its serial-equals-parallel determinism guarantee. A panic in fn is
 // re-raised on the caller's goroutine once the remaining workers drain.
+//
+// The caller's goroutine always participates as one worker; the other
+// workers-1 are requested from the process-wide worker budget (see
+// SetWorkerBudget), so nested fan-outs — figure sweeps over sharded
+// simulators — degrade to inline execution instead of oversubscribing
+// the machine. Throttling never changes the result: shards write
+// disjoint state regardless of which goroutine claims them.
 func Shard(workers, shards int, fn func(shard int)) {
 	if shards <= 0 {
 		return
@@ -24,7 +31,12 @@ func Shard(workers, shards int, fn func(shard int)) {
 	if workers > shards {
 		workers = shards
 	}
-	if workers <= 1 {
+	extra := 0
+	if workers > 1 {
+		extra = acquireExtra(workers - 1)
+		defer releaseExtra(extra)
+	}
+	if extra == 0 {
 		for i := 0; i < shards; i++ {
 			fn(i)
 		}
@@ -36,24 +48,28 @@ func Shard(workers, shards int, fn func(shard int)) {
 		panicOnce sync.Once
 		panicked  any
 	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panicOnce.Do(func() { panicked = p })
-				}
-			}()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= shards {
-					return
-				}
-				fn(i)
+	claim := func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicOnce.Do(func() { panicked = p })
 			}
 		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= shards {
+				return
+			}
+			fn(i)
+		}
 	}
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			claim()
+		}()
+	}
+	claim() // caller is a worker too
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)

@@ -1,0 +1,206 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"jointstream/internal/units"
+)
+
+// Table is a compiled, quantized lookup table over a bounded dBm domain
+// that evaluates both Eq. (24) curves — throughput v(sig) and per-byte
+// energy P(sig) — without interface dispatch. The domain [Lo, Hi] is cut
+// into equal-width bins; each bin carries affine coefficients for v, and
+// the power curve is either replayed through the exact FittedPower
+// formula (p = base + scale/v) or chord-approximated per bin.
+//
+// Exactness: when the model's curves are the paper's fits
+// (LinearThroughput and FittedPower over a LinearThroughput), every bin
+// stores the fit's own coefficients and Lookup evaluates the identical
+// floating-point expressions, so the table is bitwise-identical to the
+// analytic model at every signal value — not merely close. Exact()
+// reports this. For other model shapes the bins hold sampled chords and
+// the table is an approximation whose error shrinks with the bin count;
+// the simulator's link-table compiler only consults a Table when Exact()
+// holds, falling back to direct model calls otherwise, so quantization
+// error can never leak into simulation results.
+type Table struct {
+	lo, hi float64 // domain bounds, dBm
+	invW   float64 // bins / (hi - lo); 0 for a degenerate single-point domain
+	exact  bool
+
+	// Throughput: v = tSlope[k]·sig + tIntercept[k], floored at tFloor.
+	tSlope, tIntercept []float64
+	tFloor             float64
+
+	// Power. fitted selects the exact FittedPower replay path: the power
+	// model's own throughput curve w = vSlope[k]·sig + vIntercept[k]
+	// (floored at vFloor), then p = pBase + pScale/w floored at zero.
+	// Otherwise p = pSlope[k]·sig + pIntercept[k], floored at zero.
+	fitted             bool
+	pBase, pScale      float64
+	vSlope, vIntercept []float64
+	vFloor             float64
+	pSlope, pIntercept []float64
+}
+
+// NewTable compiles m into a quantized table of `bins` equal-width bins
+// over the signal domain [lo, hi]. Signals outside the domain are served
+// by the edge bins' coefficients (exact for affine models, edge-chord
+// extrapolation otherwise).
+func NewTable(m Model, lo, hi units.DBm, bins int) (*Table, error) {
+	if m.Throughput == nil || m.Power == nil {
+		return nil, fmt.Errorf("radio: table needs a fully specified model")
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("radio: non-positive bin count %d", bins)
+	}
+	flo, fhi := float64(lo), float64(hi)
+	if math.IsNaN(flo) || math.IsNaN(fhi) || fhi < flo {
+		return nil, fmt.Errorf("radio: invalid table domain [%v, %v]", lo, hi)
+	}
+	t := &Table{
+		lo: flo, hi: fhi,
+		tSlope: make([]float64, bins), tIntercept: make([]float64, bins),
+		tFloor: math.Inf(-1),
+	}
+	if fhi > flo {
+		t.invW = float64(bins) / (fhi - flo)
+	}
+
+	thrExact := false
+	if lin, ok := m.Throughput.(LinearThroughput); ok {
+		thrExact = true
+		t.tFloor = float64(lin.MinRate)
+		for k := range t.tSlope {
+			t.tSlope[k] = lin.Slope
+			t.tIntercept[k] = lin.Intercept
+		}
+	} else {
+		fillChords(t.tSlope, t.tIntercept, flo, fhi, bins, func(x float64) float64 {
+			return float64(m.Throughput.Throughput(units.DBm(x)))
+		})
+	}
+
+	powExact := false
+	if fp, ok := m.Power.(FittedPower); ok {
+		if lin, ok := fp.V.(LinearThroughput); ok {
+			powExact = true
+			t.fitted = true
+			t.pBase, t.pScale = fp.Base, fp.Scale
+			t.vFloor = float64(lin.MinRate)
+			t.vSlope = make([]float64, bins)
+			t.vIntercept = make([]float64, bins)
+			for k := range t.vSlope {
+				t.vSlope[k] = lin.Slope
+				t.vIntercept[k] = lin.Intercept
+			}
+		}
+	}
+	if !powExact {
+		t.pSlope = make([]float64, bins)
+		t.pIntercept = make([]float64, bins)
+		fillChords(t.pSlope, t.pIntercept, flo, fhi, bins, func(x float64) float64 {
+			return float64(m.Power.EnergyPerKB(units.DBm(x)))
+		})
+	}
+	t.exact = thrExact && powExact
+	return t, nil
+}
+
+// fillChords stores per-bin chord coefficients: the affine interpolant of
+// f between the bin's edges. A degenerate domain collapses to a constant.
+func fillChords(slope, intercept []float64, lo, hi float64, bins int, f func(float64) float64) {
+	if hi <= lo {
+		c := f(lo)
+		for k := range slope {
+			slope[k], intercept[k] = 0, c
+		}
+		return
+	}
+	w := (hi - lo) / float64(bins)
+	for k := range slope {
+		x0 := lo + float64(k)*w
+		x1 := x0 + w
+		if k == bins-1 {
+			x1 = hi // avoid accumulation drift past the domain edge
+		}
+		y0, y1 := f(x0), f(x1)
+		s := (y1 - y0) / (x1 - x0)
+		slope[k] = s
+		intercept[k] = y0 - s*x0
+	}
+}
+
+// Exact reports whether Lookup is bitwise-identical to the source model
+// (true for the paper's LinearThroughput + FittedPower fits).
+func (t *Table) Exact() bool { return t.exact }
+
+// Bins returns the quantizer's bin count.
+func (t *Table) Bins() int { return len(t.tSlope) }
+
+// Domain returns the dBm range the table was compiled over.
+func (t *Table) Domain() (lo, hi units.DBm) { return units.DBm(t.lo), units.DBm(t.hi) }
+
+// Bin returns the quantized bin index for sig, clamped to the table.
+// NaN maps to bin 0 so a corrupted signal can never index out of range.
+// The bounds are compared before the float→int conversion because
+// converting an out-of-range float64 (notably ±Inf) to int is
+// implementation-specific in Go.
+func (t *Table) Bin(sig units.DBm) int {
+	x := float64(sig)
+	if math.IsNaN(x) || x <= t.lo {
+		return 0
+	}
+	if x >= t.hi {
+		return len(t.tSlope) - 1
+	}
+	k := int((x - t.lo) * t.invW)
+	if k >= len(t.tSlope) { // x infinitesimally below hi can round up
+		return len(t.tSlope) - 1
+	}
+	return k
+}
+
+// Lookup evaluates both curves at sig through the quantized bins.
+func (t *Table) Lookup(sig units.DBm) (units.KBps, units.MJ) {
+	x := float64(sig)
+	k := t.Bin(sig)
+	v := t.tSlope[k]*x + t.tIntercept[k]
+	if v < t.tFloor {
+		v = t.tFloor
+	}
+	var p float64
+	if t.fitted {
+		w := t.vSlope[k]*x + t.vIntercept[k]
+		if w < t.vFloor {
+			w = t.vFloor
+		}
+		if w <= 0 {
+			p = t.pScale
+		} else {
+			p = t.pBase + t.pScale/w
+			if p < 0 {
+				p = 0
+			}
+		}
+	} else {
+		p = t.pSlope[k]*x + t.pIntercept[k]
+		if p < 0 {
+			p = 0
+		}
+	}
+	return units.KBps(v), units.MJ(p)
+}
+
+// Throughput implements ThroughputModel.
+func (t *Table) Throughput(sig units.DBm) units.KBps {
+	v, _ := t.Lookup(sig)
+	return v
+}
+
+// EnergyPerKB implements PowerModel.
+func (t *Table) EnergyPerKB(sig units.DBm) units.MJ {
+	_, p := t.Lookup(sig)
+	return p
+}

@@ -25,7 +25,12 @@ import (
 	"jointstream/internal/units"
 )
 
-// User is the per-session view handed to a Scheduler each slot.
+// User is the per-session view handed to a Scheduler each slot. The
+// engine normally fills the physics fields (Sig, LinkRate,
+// EnergyPerKB, Rate, MaxUnits) from its precompiled per-slot link table
+// (cell.LinkTable) rather than live model calls; both paths are
+// bitwise-identical, so schedulers never need to care which one fed
+// them.
 type User struct {
 	// Index identifies the session; stable across the whole run.
 	Index int

@@ -95,6 +95,12 @@ type SineConfig struct {
 type sineTrace struct {
 	cfg   SineConfig
 	noise *noiseSeq
+	// vals memoizes the fully computed per-slot values for the prewarmed
+	// prefix, so At on a prewarmed trace is an array read instead of a
+	// math.Sin per call. Prewarm fills it with compute, the same
+	// expression At's fallback evaluates, so the memo never changes the
+	// values a trace returns.
+	vals []units.DBm
 }
 
 // NewSine builds the sine channel model. An independent child of src seeds
@@ -117,6 +123,15 @@ func (t *sineTrace) At(n int) units.DBm {
 	if n < 0 {
 		panic(fmt.Sprintf("signal: negative slot %d", n))
 	}
+	if n < len(t.vals) {
+		return t.vals[n]
+	}
+	return t.compute(n)
+}
+
+// compute is the analytic evaluation shared by At's fallback and the
+// Prewarm memo fill; a single code path keeps the two bitwise-identical.
+func (t *sineTrace) compute(n int) units.DBm {
 	b := t.cfg.Bounds
 	base := float64(b.Mid()) + b.Amplitude()*math.Sin(2*math.Pi*float64(n)/float64(t.cfg.PeriodSlots)+t.cfg.Phase)
 	return b.clamp(base + t.cfg.NoiseStdDBm*t.noise.at(n))
@@ -151,8 +166,22 @@ func (s *noiseSeq) grow(n int) {
 	s.at(n - 1)
 }
 
-// Prewarm implements Prewarmer.
-func (t *sineTrace) Prewarm(slots int) { t.noise.grow(slots) }
+// Prewarm implements Prewarmer. Beyond growing the noise memo it also
+// memoizes the fully computed signal values, so every later At over the
+// prewarmed prefix — simulator ticks, link-table compilation — is a pure
+// array read with no trigonometry.
+func (t *sineTrace) Prewarm(slots int) {
+	t.noise.grow(slots)
+	if slots <= len(t.vals) {
+		return
+	}
+	vals := make([]units.DBm, slots)
+	copy(vals, t.vals)
+	for n := len(t.vals); n < slots; n++ {
+		vals[n] = t.compute(n)
+	}
+	t.vals = vals
+}
 
 // RandomWalkConfig parameterizes a bounded random-walk channel, a common
 // alternative mobility model: each slot the signal moves by a Gaussian
