@@ -412,7 +412,7 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 	// validated against this run's shape; otherwise one is compiled here
 	// unless the run exceeds the memory cap or compilation is disabled.
 	if cfg.Link != nil {
-		if err := cfg.Link.compatible(cfg, len(sessions)); err != nil {
+		if err := cfg.Link.compatible(cfg, sessions); err != nil {
 			return nil, err
 		}
 		sim.link = cfg.Link
@@ -494,9 +494,12 @@ func (s *Simulator) begin() error {
 
 // prepareUser fills user i's scheduler view for slot slotIdx and reports
 // whether the user is active (wants data this slot). It reads only the
-// link table (or prewarmed session memos) and writes only user-i state,
-// so distinct users prepare concurrently.
-func (s *Simulator) prepareUser(slotIdx, i int) bool {
+// link table lt (or, when lt is nil, the prewarmed session memos through
+// the signal/radio interfaces) and writes only user-i state, so distinct
+// users prepare concurrently. The table is a parameter rather than read
+// from s.link so RunReference can force the analytic path without
+// mutating Simulator state.
+func (s *Simulator) prepareUser(lt *LinkTable, slotIdx, i int) bool {
 	u := s.users[i]
 	sess := u.session
 	started := slotIdx >= sess.StartSlot
@@ -513,7 +516,7 @@ func (s *Simulator) prepareUser(slotIdx, i int) bool {
 		rate      units.KBps
 		linkUnits int
 	)
-	if lt := s.link; lt != nil {
+	if lt != nil {
 		r := &lt.rows[slotIdx*lt.users+i]
 		sig, link, epkb, rate, linkUnits = r.sig, r.link, r.epkb, r.rate, int(r.linkUnits)
 	} else {

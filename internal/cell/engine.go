@@ -30,6 +30,7 @@ func (s *Simulator) Run() (*Result, error) {
 	res := s.newResult()
 	slot := &s.slot
 	alloc := s.alloc
+	link := s.link
 
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
 		s.admit(slotIdx, res)
@@ -47,7 +48,7 @@ func (s *Simulator) Run() (*Result, error) {
 			lo, hi := shardBounds(sh, shards, len(live))
 			act := s.shardAct[sh][:0]
 			for _, i := range live[lo:hi] {
-				if s.prepareUser(slotIdx, i) {
+				if s.prepareUser(link, slotIdx, i) {
 					act = append(act, i)
 				}
 				alloc[i] = 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"unsafe"
 
 	"jointstream/internal/pool"
 	"jointstream/internal/radio"
@@ -34,6 +35,10 @@ type linkRow struct {
 	linkUnits int32
 }
 
+// linkRowBytes is the in-memory size of one packed row, padding included,
+// so MemoryBytes (and the row-cap sizing math) track the struct layout.
+const linkRowBytes = int64(unsafe.Sizeof(linkRow{}))
+
 // LinkTable is the immutable flattened link view of one workload under
 // one radio model and slot grid. It is safe to share across any number
 // of concurrent Simulators (the experiment harness compiles one per
@@ -54,9 +59,10 @@ type LinkTable struct {
 const linkTableBins = 4096
 
 // DefaultLinkTableMaxRows caps the automatic link-table compilation in
-// New at users×MaxSlots rows (40 B each): 4M rows ≈ 160 MB. Larger runs
-// fall back to the uncompiled prepare path; callers that want a bigger
-// table compile one explicitly and pass it via Config.Link.
+// New at users×MaxSlots rows (linkRowBytes each): 4M rows ≈ 160 MB with
+// the current 40-byte layout. Larger runs fall back to the uncompiled
+// prepare path; callers that want a bigger table compile one explicitly
+// and pass it via Config.Link.
 const DefaultLinkTableMaxRows = 4 << 20
 
 // CompileLink flattens the sessions' per-slot link view for cfg's slot
@@ -153,17 +159,27 @@ func (t *LinkTable) ViaLUT() bool { return t.lut }
 
 // MemoryBytes returns the size of the packed row array.
 func (t *LinkTable) MemoryBytes() int64 {
-	return int64(len(t.rows)) * int64(40)
+	return int64(len(t.rows)) * linkRowBytes
 }
 
+// linkVerifySamples bounds the per-attach row re-derivations performed by
+// compatible: enough rows, spread across users and slots, to make a
+// mismatched model or workload essentially certain to trip, while keeping
+// the check O(1) relative to the table size.
+const linkVerifySamples = 16
+
 // compatible checks that a caller-supplied table matches the run it is
-// being attached to. The radio model itself cannot be compared through
-// the interfaces; callers must compile the table from the same model
-// (the experiment harness does), which the engine differential tests
-// cross-check.
-func (t *LinkTable) compatible(cfg Config, users int) error {
-	if t.users != users {
-		return fmt.Errorf("cell: link table compiled for %d users, run has %d", t.users, users)
+// being attached to. Shape and slot grid are compared exactly; because
+// the radio model and sessions behind the rows cannot be compared
+// through the interfaces, a deterministic sample of rows is then
+// re-derived from cfg.Radio and the run's (already prewarmed) sessions
+// and required to match bitwise — the flattening path evaluates the same
+// floating-point expressions (the quantized LUT is used only when
+// provably exact), so any divergence means the table was compiled under
+// a different model or workload and would silently replay wrong physics.
+func (t *LinkTable) compatible(cfg Config, sessions []*workload.Session) error {
+	if t.users != len(sessions) {
+		return fmt.Errorf("cell: link table compiled for %d users, run has %d", t.users, len(sessions))
 	}
 	if t.slots < cfg.MaxSlots {
 		return fmt.Errorf("cell: link table covers %d slots, run needs %d", t.slots, cfg.MaxSlots)
@@ -171,6 +187,38 @@ func (t *LinkTable) compatible(cfg Config, users int) error {
 	if t.tau != cfg.Tau || t.unit != cfg.Unit {
 		return fmt.Errorf("cell: link table slot grid (tau=%v, unit=%v) != run (tau=%v, unit=%v)",
 			t.tau, t.unit, cfg.Tau, cfg.Unit)
+	}
+	total := t.users * cfg.MaxSlots
+	samples := linkVerifySamples
+	if samples > total {
+		samples = total
+	}
+	tau, unit := float64(cfg.Tau), float64(cfg.Unit)
+	for k := 0; k < samples; k++ {
+		// Evenly strided over the flat slot-major array: consecutive
+		// samples land on different users and well-separated slots.
+		idx := 0
+		if samples > 1 {
+			idx = k * (total - 1) / (samples - 1)
+		}
+		n, i := idx/t.users, idx%t.users
+		r := &t.rows[idx]
+		sess := sessions[i]
+		if sig := sess.Signal.At(n); r.sig != sig {
+			return fmt.Errorf("cell: link table user %d slot %d: signal %v != session's %v (compiled from a different workload?)", i, n, r.sig, sig)
+		}
+		if rate := sess.RateAt(n); r.rate != rate {
+			return fmt.Errorf("cell: link table user %d slot %d: rate %v != session's %v (compiled from a different workload?)", i, n, r.rate, rate)
+		}
+		if v := cfg.Radio.Throughput.Throughput(r.sig); r.link != v {
+			return fmt.Errorf("cell: link table user %d slot %d: throughput %v != model's %v (compiled under a different radio model?)", i, n, r.link, v)
+		}
+		if p := cfg.Radio.Power.EnergyPerKB(r.sig); r.epkb != p {
+			return fmt.Errorf("cell: link table user %d slot %d: energy/KB %v != model's %v (compiled under a different radio model?)", i, n, r.epkb, p)
+		}
+		if lu := int32(floorUnits(float64(r.link)*tau, unit)); r.linkUnits != lu {
+			return fmt.Errorf("cell: link table user %d slot %d: link units %d != derived %d", i, n, r.linkUnits, lu)
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"jointstream/internal/radio"
 	"jointstream/internal/rng"
 	"jointstream/internal/sched"
 	"jointstream/internal/signal"
@@ -209,6 +210,53 @@ func TestConfigLinkCompatibility(t *testing.T) {
 	if _, err := New(usersCfg, fewer, sched.NewDefault()); err == nil {
 		t.Error("table with wrong user count accepted")
 	}
+
+	// Same shape and slot grid, different radio model: the sampled-row
+	// re-derivation must reject it instead of silently replaying the
+	// wrong physics.
+	model := cfg
+	model.Link = lt
+	model.Radio = radio.LTE()
+	if _, err := New(model, wl, sched.NewDefault()); err == nil {
+		t.Error("table compiled under a different radio model accepted")
+	}
+
+	// Same shape, grid, and model, different workload: the sampled rows'
+	// signal/rate must disagree with the run's sessions.
+	other, err := workload.Generate(workload.PaperDefaults(4), rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlCfg := cfg
+	wlCfg.Link = lt
+	if _, err := New(wlCfg, other, sched.NewDefault()); err == nil {
+		t.Error("table compiled from a different workload accepted")
+	}
+}
+
+// TestRunReferenceKeepsLinkTable pins that the reference arm bypasses the
+// compiled table without mutating the Simulator: s.link survives the run,
+// so nothing observing the Simulator concurrently can see it flip.
+func TestRunReferenceKeepsLinkTable(t *testing.T) {
+	wl, err := workload.Generate(workload.PaperDefaults(4), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PaperConfig()
+	cfg.MaxSlots = 200
+	sim, err := New(cfg, wl, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.link == nil {
+		t.Fatal("expected an auto-compiled link table")
+	}
+	if _, err := sim.RunReference(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.link == nil {
+		t.Error("RunReference cleared the simulator's link table")
+	}
 }
 
 // TestCompileLinkUsesLUTForPaperModel pins that the paper model goes
@@ -228,7 +276,7 @@ func TestCompileLinkUsesLUTForPaperModel(t *testing.T) {
 	if !lt.ViaLUT() {
 		t.Error("paper model did not compile through the exact LUT")
 	}
-	if got, want := lt.MemoryBytes(), int64(3*50*40); got != want {
+	if got, want := lt.MemoryBytes(), int64(3*50)*linkRowBytes; got != want {
 		t.Errorf("MemoryBytes %d, want %d", got, want)
 	}
 }

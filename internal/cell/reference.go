@@ -17,17 +17,17 @@ func (s *Simulator) RunReference() (*Result, error) {
 	slot := &s.slot
 	alloc := s.alloc
 	slot.ActiveList = nil // schedulers exercise their full-scan fallback
-	// The reference arm always evaluates the signal and radio models
-	// analytically, so the differential tests assert the flattened link
-	// table reproduces the interface path bitwise.
-	s.link = nil
 
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
 		slot.N = slotIdx
 		allDone := true
 		for i := range s.users {
 			u := s.users[i]
-			s.prepareUser(slotIdx, i)
+			// nil link table: the reference arm always evaluates the
+			// signal and radio models analytically, so the differential
+			// tests assert the flattened table reproduces the interface
+			// path bitwise. s.link itself is left untouched.
+			s.prepareUser(nil, slotIdx, i)
 			if slotIdx < u.session.StartSlot || !u.buf.PlaybackComplete() {
 				allDone = false
 			}

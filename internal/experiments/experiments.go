@@ -21,6 +21,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"jointstream/internal/cell"
@@ -327,6 +328,16 @@ func (r *Runner) buildWorkload(sc scenario) (*sharedWorkload, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Prewarm before publishing, whether or not the link table compiles
+	// below: concurrent simulators over the shared sessions re-Prewarm
+	// them from cell.New, which is only a safe (read-only) no-op if the
+	// stochastic memos already span the horizon. CompileLink prewarms
+	// too, but it is skipped for over-cap or table-disabled runs.
+	workers := r.opts.Cell.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workload.PrewarmAll(workers, wl, r.opts.Cell.MaxSlots)
 	sw := &sharedWorkload{sessions: wl}
 	maxRows := r.opts.Cell.LinkTableMaxRows
 	if maxRows == 0 {

@@ -6,6 +6,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/sched"
 )
 
 func quickRunner(t *testing.T) *Runner {
@@ -465,6 +468,60 @@ func TestWorkloadCacheMissPerScenario(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Error("no workload cache hits across a multi-scheduler figure")
+	}
+}
+
+// TestWorkloadSharedWithoutLinkTable hammers one table-disabled scenario
+// from concurrent simulators. buildWorkload must fully prewarm the
+// sessions before publishing even when CompileLink is skipped (over-cap
+// or disabled runs), otherwise the simulators' Prewarm calls grow the
+// shared stochastic memos concurrently — a data race this test exposes
+// under CI's -race job — and here every goroutine must also produce a
+// byte-identical Result.
+func TestWorkloadSharedWithoutLinkTable(t *testing.T) {
+	opts := QuickOptions()
+	opts.Cell.LinkTableMaxRows = -1 // skip link compilation entirely
+	// A long horizon widens the prewarm race window: if the published
+	// sessions are not already warm, every simulator below has tens of
+	// thousands of memo entries left to grow concurrently.
+	opts.Cell.MaxSlots = 60000
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario{users: r.opts.CDFUsers, avgSizeMB: r.opts.CDFAvgSizeMB}
+	sw, err := r.workloadFor(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.link != nil {
+		t.Fatal("table-disabled scenario compiled a link table")
+	}
+	const runs = 8
+	results := make([]*cell.Result, runs)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < runs; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			<-start // all goroutines hit cell.New's Prewarm together
+			res, err := r.simulate(sc, schedBuilder{key: "default", build: func() (sched.Scheduler, error) {
+				return sched.NewDefault(), nil
+			}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[k] = res
+		}(k)
+	}
+	close(start)
+	wg.Wait()
+	for k := 1; k < runs; k++ {
+		if !reflect.DeepEqual(results[0], results[k]) {
+			t.Fatalf("concurrent run %d diverged from run 0", k)
+		}
 	}
 }
 
