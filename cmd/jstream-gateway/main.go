@@ -6,6 +6,11 @@
 // Run the demo end to end with the built-in clients:
 //
 //	jstream-gateway -clients 4 -sched rtma -slot 100ms
+//
+// Run the chaos scenario (fault injection against the hardened serving
+// path) and print the per-fault-class report:
+//
+//	jstream-gateway -chaos
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"jointstream/internal/experiments"
 	"jointstream/internal/gateway"
 	"jointstream/internal/radio"
 	"jointstream/internal/rng"
@@ -37,12 +43,34 @@ func main() {
 		budget    = flag.Float64("budget", 950, "RTMA energy budget (mJ)")
 		v         = flag.Float64("v", 0.2, "EMA Lyapunov weight")
 		httpAddr  = flag.String("http", "", "serve the monitoring API (healthz/stats/summary) on this address")
+		ioTimeout = flag.Duration("iotimeout", 30*time.Second, "per-operation read/write deadline on client connections (0 disables)")
+		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos scenario and print the report")
+		chaosSeed = flag.Uint64("chaos-seed", 42, "fault plan seed for -chaos")
 	)
 	flag.Parse()
-	if err := run(*schedName, *clients, *videoKB, *slotDur, *addr, *budget, *v, *httpAddr); err != nil {
+	if *chaos {
+		if err := runChaos(*chaosSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "jstream-gateway:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*schedName, *clients, *videoKB, *slotDur, *addr, *budget, *v, *httpAddr, *ioTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "jstream-gateway:", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos executes the chaos scenario and prints its table.
+func runChaos(seed uint64) error {
+	opts := experiments.DefaultChaosOptions()
+	opts.Seed = seed
+	rep, err := experiments.RunChaos(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	return nil
 }
 
 func buildScheduler(name string, budget, v float64) (sched.Scheduler, error) {
@@ -62,7 +90,7 @@ func buildScheduler(name string, budget, v float64) (sched.Scheduler, error) {
 	}
 }
 
-func run(schedName string, clients int, videoKB float64, slotDur time.Duration, addr string, budget, v float64, httpAddr string) error {
+func run(schedName string, clients int, videoKB float64, slotDur time.Duration, addr string, budget, v float64, httpAddr string, ioTimeout time.Duration) error {
 	if clients <= 0 {
 		return fmt.Errorf("need at least one client")
 	}
@@ -108,7 +136,9 @@ func run(schedName string, clients int, videoKB float64, slotDur time.Duration, 
 			if err != nil {
 				return
 			}
-			if _, err := gateway.AttachConn(gw, conn, -80); err != nil {
+			if _, err := gateway.AttachConnWith(gw, conn, gateway.ConnOptions{
+				InitialSig: -80, IOTimeout: ioTimeout,
+			}); err != nil {
 				fmt.Fprintln(os.Stderr, "attach:", err)
 				conn.Close()
 			}

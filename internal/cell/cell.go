@@ -75,7 +75,23 @@ type Config struct {
 	// through the interfaces, as before the link-table layer). A
 	// caller-supplied Link is used regardless of this cap.
 	LinkTableMaxRows int
+	// Outages lists base-station outage windows: during each [From, To)
+	// slot range the serving capacity is zero, no allocation happens, and
+	// every session degrades gracefully (buffers drain, rebuffering and
+	// tail energy accrue per the usual physics). Sessions are re-admitted
+	// automatically when capacity returns — the engine's live list never
+	// drops a user over an outage. Result.DegradedSlots counts the slots
+	// the run actually spent inside a window.
+	Outages []Outage
 }
+
+// Outage is one capacity-zero window over slots [From, To).
+type Outage struct {
+	From, To int
+}
+
+// Contains reports whether slot n falls inside the window.
+func (o Outage) Contains(n int) bool { return n >= o.From && n < o.To }
 
 // PaperConfig returns the §VI defaults: τ = 1 s, S = 20 MB/s, 10000-slot
 // horizon, 3G radio and RRC models, δ = 100 KB.
@@ -116,6 +132,11 @@ func (c Config) Validate() error {
 	if c.ABR != nil {
 		if err := c.ABR.Validate(); err != nil {
 			return err
+		}
+	}
+	for i, o := range c.Outages {
+		if o.From < 0 || o.To < o.From {
+			return fmt.Errorf("cell: outage %d has invalid window [%d, %d)", i, o.From, o.To)
 		}
 	}
 	return c.RRC.Validate()
@@ -189,6 +210,11 @@ type Result struct {
 	// ClampEvents counts scheduler outputs the simulator had to clamp to
 	// satisfy Eq. (1)/(2); always 0 for the built-in schedulers.
 	ClampEvents int
+	// DegradedSlots counts slots the run spent inside a Config.Outages
+	// window (serving capacity forced to zero). Omitted from JSON when
+	// zero so outage-free serialized results (the golden trace, figure
+	// baselines) are byte-identical to pre-outage builds.
+	DegradedSlots int `json:",omitempty"`
 
 	// agg caches the run-level totals behind the metric accessors so
 	// repeated calls (the experiment harness reads PE/PC/TotalEnergy many
@@ -347,6 +373,21 @@ type Simulator struct {
 	shardAcc   []slotAccum // per-shard partial sums (commit output)
 	activeBuf  []int       // backing for slot.ActiveList, rebuilt per slot
 	consumed   bool        // Run/RunReference already executed
+	// capUnits is the nominal per-slot capacity in units; the engines
+	// restore it after every outage slot zeroes slot.CapacityUnits.
+	capUnits int
+}
+
+// outageAt reports whether slot n falls inside any configured outage
+// window. The window list is small (a handful per run), so a linear
+// scan beats maintaining an index.
+func (s *Simulator) outageAt(n int) bool {
+	for _, o := range s.cfg.Outages {
+		if o.Contains(n) {
+			return true
+		}
+	}
+	return false
 }
 
 // New builds a Simulator. The sessions' buffers and RRC machines are
@@ -438,6 +479,7 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 	for i := range sim.slot.Users {
 		sim.slot.Users[i] = sched.User{Index: i}
 	}
+	sim.capUnits = sim.slot.CapacityUnits
 	sim.alloc = make([]int, len(sessions))
 	// Admission order: users enter the live list as the clock reaches
 	// their StartSlot, ties resolved by index (the stable sort keeps the

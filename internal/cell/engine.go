@@ -1,6 +1,7 @@
 package cell
 
 import (
+	"context"
 	"fmt"
 
 	"jointstream/internal/pool"
@@ -24,6 +25,14 @@ import (
 
 // Run executes the simulation and returns the collected result.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with a cancellation checkpoint at the top of every slot:
+// a cancelled context makes the run return ctx.Err() promptly — within
+// one slot's work — instead of finishing the horizon. The partially
+// filled Result is discarded; cancellation is not a valid run.
+func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
@@ -33,6 +42,9 @@ func (s *Simulator) Run() (*Result, error) {
 	link := s.link
 
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cell: run cancelled at slot %d: %w", slotIdx, err)
+		}
 		s.admit(slotIdx, res)
 		if s.unfinished == 0 && !s.cfg.RunFullHorizon && slotIdx > 0 {
 			break
@@ -62,12 +74,23 @@ func (s *Simulator) Run() (*Result, error) {
 		slot.ActiveList = s.activeBuf
 
 		// Phase 2: schedule. One Allocate per slot, by contract serial.
-		s.sched.Allocate(slot, alloc)
-		clamps, err := s.enforce(slot, alloc)
-		if err != nil {
-			return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
+		// An outage slot has zero capacity: the scheduler is not consulted
+		// (alloc is already zeroed by prepare) and the commit phase applies
+		// the degraded physics — buffers drain, rebuffering and tail energy
+		// accrue. Users stay live, so service resumes by itself when the
+		// window closes.
+		if s.outageAt(slotIdx) {
+			slot.CapacityUnits = 0
+			res.DegradedSlots++
+		} else {
+			slot.CapacityUnits = s.capUnits
+			s.sched.Allocate(slot, alloc)
+			clamps, err := s.enforce(slot, alloc)
+			if err != nil {
+				return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
+			}
+			res.ClampEvents += clamps
 		}
-		res.ClampEvents += clamps
 
 		// Phase 3: commit. Each shard applies the physics to its users and
 		// accumulates partial sums; a shard stops at its first error.

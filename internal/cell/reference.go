@@ -1,6 +1,9 @@
 package cell
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // RunReference executes the simulation with the original full-scan
 // serial engine: every slot prepares, schedules and commits all N users
@@ -10,6 +13,12 @@ import "fmt"
 // a single shard (live users ≤ ShardSize), and match it up to float
 // reassociation otherwise. Production callers use Run.
 func (s *Simulator) RunReference() (*Result, error) {
+	return s.RunReferenceCtx(context.Background())
+}
+
+// RunReferenceCtx is RunReference with the same per-slot cancellation
+// checkpoint as RunCtx.
+func (s *Simulator) RunReferenceCtx(ctx context.Context) (*Result, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
@@ -19,6 +28,9 @@ func (s *Simulator) RunReference() (*Result, error) {
 	slot.ActiveList = nil // schedulers exercise their full-scan fallback
 
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cell: run cancelled at slot %d: %w", slotIdx, err)
+		}
 		slot.N = slotIdx
 		allDone := true
 		for i := range s.users {
@@ -37,12 +49,20 @@ func (s *Simulator) RunReference() (*Result, error) {
 			break
 		}
 
-		s.sched.Allocate(slot, alloc)
-		clamps, err := s.enforce(slot, alloc)
-		if err != nil {
-			return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
+		// Outage slots mirror the production engine: zero capacity, no
+		// Allocate call, degraded physics in the commit loop below.
+		if s.outageAt(slotIdx) {
+			slot.CapacityUnits = 0
+			res.DegradedSlots++
+		} else {
+			slot.CapacityUnits = s.capUnits
+			s.sched.Allocate(slot, alloc)
+			clamps, err := s.enforce(slot, alloc)
+			if err != nil {
+				return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
+			}
+			res.ClampEvents += clamps
 		}
-		res.ClampEvents += clamps
 
 		acc := slotAccum{errUser: -1}
 		for i := range s.users {

@@ -83,6 +83,18 @@ type Config struct {
 	// Workers bounds the number of concurrently simulated cells
 	// (0 = GOMAXPROCS).
 	Workers int
+	// Outages schedules site-level outages: each window zeroes the named
+	// site's serving capacity for slots [From, To). The site's sessions
+	// stay attached and resume when the window closes; Result.
+	// DegradedSlots aggregates how many slots the fleet spent degraded.
+	Outages []SiteOutage
+}
+
+// SiteOutage is one site-scoped capacity-zero window over [From, To).
+type SiteOutage struct {
+	// Site indexes Config.Sites.
+	Site     int
+	From, To int
 }
 
 // Validate checks the configuration.
@@ -102,6 +114,14 @@ func (c Config) Validate() error {
 	}
 	if c.AssessSlots < 0 {
 		return fmt.Errorf("deploy: negative assessment window %d", c.AssessSlots)
+	}
+	for i, o := range c.Outages {
+		if o.Site < 0 || o.Site >= len(c.Sites) {
+			return fmt.Errorf("deploy: outage %d names unknown site %d", i, o.Site)
+		}
+		if o.From < 0 || o.To < o.From {
+			return fmt.Errorf("deploy: outage %d has invalid window [%d, %d)", i, o.From, o.To)
+		}
 	}
 	return nil
 }
@@ -157,6 +177,17 @@ func (r *Result) TotalRebuffer() units.Seconds {
 
 // Users counts sessions across sites.
 func (r *Result) Users() int { return len(r.Placements) }
+
+// DegradedSlots sums the slots every site spent inside an outage window.
+func (r *Result) DegradedSlots() int {
+	sum := 0
+	for _, res := range r.PerSite {
+		if res != nil {
+			sum += res.DegradedSlots
+		}
+	}
+	return sum
+}
 
 // offsetTrace shifts a base trace by a fixed dBm offset plus optional
 // independent per-slot shadowing, clamped to the physical bounds. The
@@ -248,11 +279,21 @@ func Run(ctx context.Context, cfg Config, sessions []*workload.Session, newSched
 		if err != nil {
 			return nil, err
 		}
-		sim, err := cell.New(cfg.Sites[j.site].Cell, perSite[j.site], s)
+		cellCfg := cfg.Sites[j.site].Cell
+		// Map this site's deploy-level outage windows onto the cell config
+		// (appending to a copy: the caller's per-site config and any
+		// windows it already carries stay untouched).
+		for _, o := range cfg.Outages {
+			if o.Site == j.site {
+				cellCfg.Outages = append(cellCfg.Outages[:len(cellCfg.Outages):len(cellCfg.Outages)],
+					cell.Outage{From: o.From, To: o.To})
+			}
+		}
+		sim, err := cell.New(cellCfg, perSite[j.site], s)
 		if err != nil {
 			return nil, fmt.Errorf("site %d (%s): %w", j.site, cfg.Sites[j.site].Name, err)
 		}
-		return sim.Run()
+		return sim.RunCtx(ctx)
 	})
 	if err != nil {
 		return nil, err

@@ -19,10 +19,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"jointstream/internal/cell"
 	"jointstream/internal/metrics"
@@ -182,6 +184,28 @@ type Runner struct {
 	wlInflight map[string]chan struct{}
 	wlHits     int64
 	wlMisses   int64
+
+	// runCtx holds the context the current parallel suite runs under;
+	// simulate threads it into cell.RunCtx so a cancelled AllParallel
+	// stops in-flight simulations within one slot instead of letting
+	// them finish their horizon. Nil means context.Background().
+	runCtx atomic.Pointer[context.Context]
+}
+
+// setRunContext installs the context every subsequent simulation is
+// checked against. It returns a restore function (AllParallel defers it
+// so sequential callers keep Background semantics).
+func (r *Runner) setRunContext(ctx context.Context) func() {
+	r.runCtx.Store(&ctx)
+	return func() { r.runCtx.Store(nil) }
+}
+
+// runContext returns the context simulations should honor.
+func (r *Runner) runContext() context.Context {
+	if p := r.runCtx.Load(); p != nil {
+		return *p
+	}
+	return context.Background()
 }
 
 // sharedWorkload is one scenario's immutable prewarmed workload plus its
@@ -371,7 +395,7 @@ func (r *Runner) simulate(sc scenario, sb schedBuilder) (*cell.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run()
+	return sim.RunCtx(r.runContext())
 }
 
 func (r *Runner) defaultRun(sc scenario) (*cell.Result, error) {

@@ -303,6 +303,7 @@ func (r *Runner) All() ([]*Figure, error) {
 // as the sequential one, just overlapped. Results keep All's order.
 func (r *Runner) AllParallel(ctx context.Context, workers int) ([]*Figure, error) {
 	figs := r.allFigs()
+	defer r.setRunContext(ctx)()
 	return pool.Map(ctx, workers, figs, func(ctx context.Context, nf namedFig) (*Figure, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -32,3 +32,35 @@ func FuzzParseHello(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseSig checks the control-line parser never panics and that
+// every accepted SIG value is finite — NaN or Inf reaching the radio
+// model would poison every downstream energy computation.
+func FuzzParseSig(f *testing.F) {
+	seeds := []string{
+		"SIG -60\n",
+		"SIG -75.5\n",
+		"SIG 0\n",
+		"SIG NaN\n",
+		"SIG Inf\n",
+		"SIG -Inf\n",
+		"SIG\n",
+		"SIG -60 extra\n",
+		"sig -60\n",
+		"GARBAGE\n",
+		"DATA 5\n",
+		"SIG 1e309\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		dbm, ok := parseSig(line)
+		if !ok {
+			return
+		}
+		if !finite(float64(dbm)) {
+			t.Fatalf("parseSig(%q) accepted non-finite value %v", line, dbm)
+		}
+	})
+}

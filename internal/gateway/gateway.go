@@ -42,10 +42,13 @@ type Report struct {
 // Endpoint is one attached user device.
 type Endpoint interface {
 	// Report returns the user's current cross-layer report. ok=false
-	// marks a disconnected user; the gateway stops scheduling it.
+	// marks a missing report; the gateway papers over up to
+	// Policy.StaleGraceSlots consecutive misses with the last good report
+	// (conservative admission) before detaching the user.
 	Report() (r Report, ok bool)
-	// Deliver pushes one slot's granted bytes to the device. A delivery
-	// error detaches the user.
+	// Deliver pushes one slot's granted bytes to the device. Errors are
+	// classified (see Classify): fatal ones detach the user immediately,
+	// transient ones route through the backoff/breaker retry path.
 	Deliver(p []byte) error
 }
 
@@ -84,6 +87,11 @@ type Config struct {
 	// from the source but not yet transmitted). Must exceed one slot's
 	// worth of the fastest link.
 	QueueCap units.KB
+	// Policy tunes the degraded-mode behavior: stale-report grace,
+	// transient-error backoff, the flap circuit breaker and asynchronous
+	// per-endpoint delivery. The zero value selects the defaults (see
+	// Policy).
+	Policy Policy
 }
 
 // Validate checks the configuration.
@@ -103,6 +111,9 @@ func (c Config) Validate() error {
 	if c.QueueCap <= 0 {
 		return fmt.Errorf("gateway: non-positive queue cap %v", c.QueueCap)
 	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
 	return c.RRC.Validate()
 }
 
@@ -121,11 +132,28 @@ type user struct {
 	// buffered playback estimate maintained from deliveries and wall
 	// slots, used to populate sched.User.BufferSec.
 	bufferSec units.Seconds
+	// rebufferSec accrues τ for every slot in which a started,
+	// unfinished session's playback estimate sits at zero — the
+	// gateway-side analogue of the simulator's c_i(n).
+	rebufferSec units.Seconds
 	// machine and the energy tallies are populated only when the gateway
 	// was configured with an RRC profile.
 	machine     *rrc.Machine
 	transEnergy units.MJ
 	tailEnergy  units.MJ
+
+	// Degradation-policy state.
+	lastReport   Report       // last good report, reused during the grace window
+	haveReport   bool         // lastReport is valid
+	staleSlots   int          // consecutive slots with a missing report
+	failStreak   int          // consecutive transient strikes (errors or stalled slots)
+	backoffUntil int          // slot before which the user is not scheduled
+	detachReason DetachReason // why the user was detached, if it was
+	inFlight     bool         // an async delivery is outstanding
+	worker       *deliveryWorker
+	// Per-user diagnostics mirrored into Stats.
+	transientErrors int
+	missedSlots     int
 }
 
 // Stats summarizes one user's progress.
@@ -134,8 +162,19 @@ type Stats struct {
 	SentKB    units.KB
 	QueuedKB  units.KB
 	BufferSec units.Seconds
-	Done      bool // source drained and queue empty
-	Detached  bool
+	// RebufferSec is the accumulated playback stall estimate: τ per slot
+	// a started, unfinished session spent with an empty playback buffer.
+	RebufferSec units.Seconds
+	Done        bool // source drained, queue empty, nothing in flight
+	Detached    bool
+	// DetachReason explains a detachment (empty while attached).
+	DetachReason DetachReason
+	// TransientErrors counts classified-transient delivery failures that
+	// were retried rather than detaching the user.
+	TransientErrors int
+	// MissedSlots counts slots in which the user's grant was skipped
+	// because a previous delivery was still in flight.
+	MissedSlots int
 	// TransEnergy and TailEnergy are populated when the gateway was
 	// configured with an RRC profile (Config.RRC).
 	TransEnergy units.MJ
@@ -153,6 +192,13 @@ type Gateway struct {
 	sched sched.Scheduler
 	users []*user
 	slot  int
+	// policy is cfg.Policy with defaults resolved.
+	policy Policy
+	// diag aggregates the degradation counters across users.
+	diag Diag
+	// wake is the async delivery workers' completion bell (cap 1; a
+	// dropped ring is harmless because the collector scans every user).
+	wake chan struct{}
 	// bypassKB counts non-video bytes forwarded without scheduling.
 	bypassKB units.KB
 }
@@ -165,7 +211,12 @@ func New(cfg Config, s sched.Scheduler) (*Gateway, error) {
 	if s == nil {
 		return nil, errors.New("gateway: nil scheduler")
 	}
-	return &Gateway{cfg: cfg, sched: s}, nil
+	return &Gateway{
+		cfg:    cfg,
+		sched:  s,
+		policy: cfg.Policy.withDefaults(),
+		wake:   make(chan struct{}, 1),
+	}, nil
 }
 
 // Attach registers a user with its content source and downlink endpoint,
@@ -220,9 +271,20 @@ func (g *Gateway) Slot() int {
 
 // Step advances the gateway by one slot: receive → collect → schedule →
 // transmit. It returns the per-user allocations in data units.
+//
+// Degraded modes (see Policy): users with a missing report ride the
+// stale-report grace window under conservative admission; users backing
+// off after a transient delivery error, and users whose async delivery is
+// still in flight, sit the slot out; the circuit breaker detaches users
+// whose strikes exhaust Policy.BreakerTrips.
 func (g *Gateway) Step() ([]int, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+
+	// 0. Apply async delivery outcomes that landed since the last slot.
+	if g.policy.AsyncDelivery {
+		g.collectCompletions(-1)
+	}
 
 	// 1. Data Receiver: top up each user's queue from its source.
 	for _, u := range g.users {
@@ -238,34 +300,76 @@ func (g *Gateway) Step() ([]int, error) {
 		Users:         make([]sched.User, len(g.users)),
 	}
 	reports := make([]Report, len(g.users))
+	degraded := false
 	for i, u := range g.users {
-		view := sched.User{Index: i}
-		if !u.detached {
-			if rep, ok := u.ep.Report(); ok {
-				reports[i] = rep
-				queuedKB := units.KB(float64(len(u.queue)) / 1000)
-				link := g.cfg.Radio.Throughput.Throughput(rep.Sig)
-				maxUnits := int(float64(link) * float64(g.cfg.Tau) / float64(g.cfg.Unit))
-				queueUnits := int(float64(queuedKB) / float64(g.cfg.Unit))
-				if maxUnits > queueUnits {
-					maxUnits = queueUnits
-				}
-				view = sched.User{
-					Index:       i,
-					Active:      queuedKB > 0,
-					Sig:         rep.Sig,
-					LinkRate:    link,
-					EnergyPerKB: g.cfg.Radio.Power.EnergyPerKB(rep.Sig),
-					Rate:        rep.Rate,
-					BufferSec:   u.bufferSec,
-					RemainingKB: queuedKB,
-					MaxUnits:    maxUnits,
-				}
-			} else {
-				u.detached = true
+		slot.Users[i] = sched.User{Index: i}
+		if u.detached {
+			continue
+		}
+		rep, ok := u.ep.Report()
+		if ok {
+			if u.staleSlots > 0 {
+				// The report flapped back inside the grace window.
+				g.diag.Reattaches++
+				u.staleSlots = 0
+			}
+			u.lastReport, u.haveReport = rep, true
+		} else {
+			u.staleSlots++
+			g.diag.StaleSlots++
+			degraded = true
+			if u.staleSlots > g.policy.StaleGraceSlots {
+				g.diag.StaleDetaches++
+				g.detach(u, DetachStale)
+				continue
+			}
+			if !u.haveReport {
+				continue // nothing to reuse yet; sit the slot out
+			}
+			rep = u.lastReport
+		}
+		reports[i] = rep
+		if u.inFlight {
+			// Previous delivery still in flight past its deadline: the
+			// user misses this slot's grant, and the stall strikes the
+			// breaker.
+			u.missedSlots++
+			g.diag.MissedDeadlines++
+			g.recordStrike(u)
+			degraded = true
+			continue
+		}
+		if g.slot < u.backoffUntil {
+			degraded = true
+			continue
+		}
+		queuedKB := units.KB(float64(len(u.queue)) / 1000)
+		link := g.cfg.Radio.Throughput.Throughput(rep.Sig)
+		maxUnits := int(float64(link) * float64(g.cfg.Tau) / float64(g.cfg.Unit))
+		queueUnits := int(float64(queuedKB) / float64(g.cfg.Unit))
+		if maxUnits > queueUnits {
+			maxUnits = queueUnits
+		}
+		if u.staleSlots > 0 {
+			// Conservative admission on a stale report: grant at most the
+			// real-time need, no opportunistic prefetch on a link state we
+			// can no longer observe.
+			needUnits := ceilDiv(float64(rep.Rate)*float64(g.cfg.Tau), float64(g.cfg.Unit))
+			if maxUnits > needUnits {
+				maxUnits = needUnits
 			}
 		}
-		slot.Users[i] = view
+		slot.Users[i] = sched.User{
+			Index:       i,
+			Active:      queuedKB > 0,
+			Sig:         rep.Sig,
+			LinkRate:    link,
+			EnergyPerKB: g.cfg.Radio.Power.EnergyPerKB(rep.Sig),
+			Rate:        rep.Rate,
+			BufferSec:   u.bufferSec,
+			RemainingKB: queuedKB,
+			MaxUnits:    maxUnits,
+		}
 	}
 
 	// 3. Scheduler.
@@ -292,6 +396,7 @@ func (g *Gateway) Step() ([]int, error) {
 	}
 
 	// 4. Data Transmitter.
+	submitted := 0
 	for i, u := range g.users {
 		// Age the playback estimate by one slot first.
 		if u.bufferSec > g.cfg.Tau {
@@ -310,11 +415,28 @@ func (g *Gateway) Step() ([]int, error) {
 		if nbytes > len(u.queue) {
 			nbytes = len(u.queue)
 		}
-		payload := u.queue[:nbytes]
-		if err := u.ep.Deliver(payload); err != nil {
-			u.detached = true
+		if g.policy.AsyncDelivery {
+			// Snapshot the grant and hand it to the endpoint's worker;
+			// energy is spent at transmission time whether or not the
+			// device drains its socket, playback progress is credited
+			// when the delivery completes.
+			payload := make([]byte, nbytes)
+			copy(payload, u.queue[:nbytes])
+			u.queue = u.queue[nbytes:]
+			if u.machine != nil {
+				u.transEnergy += g.cfg.Radio.TransmissionEnergy(slot.Users[i].Sig, units.KB(float64(nbytes)/1000))
+				u.machine.Transfer()
+			}
+			g.submitAsync(u, deliveryJob{payload: payload, slot: g.slot, rate: reports[i].Rate})
+			submitted++
 			continue
 		}
+		payload := u.queue[:nbytes]
+		if err := u.ep.Deliver(payload); err != nil {
+			g.deliveryFailed(u, err)
+			continue
+		}
+		g.deliverySucceeded(u)
 		u.queue = u.queue[nbytes:]
 		deliveredKB := units.KB(float64(nbytes) / 1000)
 		u.sentKB += deliveredKB
@@ -326,8 +448,40 @@ func (g *Gateway) Step() ([]int, error) {
 			u.machine.Transfer()
 		}
 	}
+	if submitted > 0 {
+		if late := g.awaitSlotDeliveries(g.slot, submitted, g.policy.SlotDeadline); late > 0 {
+			degraded = true
+		}
+	}
+
+	// 5. Rebuffer accounting: a started, unfinished session with an empty
+	// playback estimate stalls for the slot.
+	for _, u := range g.users {
+		if u.detached || u.sentKB == 0 {
+			continue
+		}
+		done := u.srcDone && len(u.queue) == 0 && !u.inFlight
+		if !done && u.bufferSec <= 0 {
+			u.rebufferSec += g.cfg.Tau
+		}
+	}
+	if degraded {
+		g.diag.DegradedSlots++
+	}
 	g.slot++
 	return alloc, nil
+}
+
+// ceilDiv returns ⌈amount/unit⌉ for positive unit.
+func ceilDiv(amount, unit float64) int {
+	if amount <= 0 {
+		return 0
+	}
+	n := int(amount / unit)
+	if float64(n)*unit < amount {
+		n++
+	}
+	return n
 }
 
 // fill tops up a user's receiver queue from its source.
@@ -361,14 +515,18 @@ func (g *Gateway) StatsFor(id int) (Stats, error) {
 	}
 	u := g.users[id]
 	return Stats{
-		ID:          id,
-		SentKB:      u.sentKB,
-		QueuedKB:    units.KB(float64(len(u.queue)) / 1000),
-		BufferSec:   u.bufferSec,
-		Done:        u.srcDone && len(u.queue) == 0,
-		Detached:    u.detached,
-		TransEnergy: u.transEnergy,
-		TailEnergy:  u.tailEnergy,
+		ID:              id,
+		SentKB:          u.sentKB,
+		QueuedKB:        units.KB(float64(len(u.queue)) / 1000),
+		BufferSec:       u.bufferSec,
+		RebufferSec:     u.rebufferSec,
+		Done:            u.srcDone && len(u.queue) == 0 && !u.inFlight,
+		Detached:        u.detached,
+		DetachReason:    u.detachReason,
+		TransientErrors: u.transientErrors,
+		MissedSlots:     u.missedSlots,
+		TransEnergy:     u.transEnergy,
+		TailEnergy:      u.tailEnergy,
 	}, nil
 }
 
@@ -384,7 +542,7 @@ func (g *Gateway) AllDone() bool {
 		if u.detached {
 			continue
 		}
-		if !u.srcDone || len(u.queue) > 0 {
+		if !u.srcDone || len(u.queue) > 0 || u.inFlight {
 			return false
 		}
 	}

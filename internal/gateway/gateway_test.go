@@ -174,7 +174,11 @@ type failingEndpoint struct{ LocalEndpoint }
 func (f *failingEndpoint) Report() (Report, bool) { return Report{Sig: -60, Rate: 400}, true }
 func (f *failingEndpoint) Deliver([]byte) error   { return errors.New("link down") }
 
-func TestDeliveryErrorDetaches(t *testing.T) {
+// An endpoint that keeps failing with an unclassified (transient) error
+// is no longer detached on the first slot: the backoff/breaker policy
+// retries until Policy.BreakerTrips consecutive failures open the
+// breaker.
+func TestPersistentDeliveryErrorTripsBreaker(t *testing.T) {
 	g, _ := New(testConfig(), sched.NewDefault())
 	src, _ := NewPatternSource(1000)
 	id, err := g.Attach(&failingEndpoint{}, src)
@@ -183,9 +187,107 @@ func TestDeliveryErrorDetaches(t *testing.T) {
 	}
 	g.Step()
 	st, _ := g.StatsFor(id)
-	if !st.Detached {
-		t.Error("delivery failure did not detach user")
+	if st.Detached {
+		t.Fatal("transient delivery failure detached user on first error")
 	}
+	// Retries are spaced by exponential backoff; step far enough to
+	// accumulate BreakerTrips consecutive failures.
+	for i := 0; i < 64 && !st.Detached; i++ {
+		g.Step()
+		st, _ = g.StatsFor(id)
+	}
+	if !st.Detached {
+		t.Fatal("persistently failing endpoint never detached")
+	}
+	if st.DetachReason != DetachBreaker {
+		t.Errorf("detach reason = %q, want %q", st.DetachReason, DetachBreaker)
+	}
+	if st.TransientErrors < DefaultBreakerTrips {
+		t.Errorf("transient errors = %d, want >= %d", st.TransientErrors, DefaultBreakerTrips)
+	}
+}
+
+// A fatal (classified) delivery error still detaches immediately.
+func TestFatalDeliveryErrorDetachesImmediately(t *testing.T) {
+	g, _ := New(testConfig(), sched.NewDefault())
+	ep, id := attachUser(t, g, 1000, 400, -60)
+	// Disconnect between report collection and delivery: the endpoint
+	// still reports, but Deliver returns a Fatal-classified error.
+	g.Step()
+	ep.Disconnect()
+	st, _ := g.StatsFor(id)
+	if st.Detached {
+		t.Fatal("user detached before any failure")
+	}
+	// Next step: Report now returns ok=false too, but the first failure
+	// path hit is what matters — run until detached and check the reason
+	// is fatal or stale, never breaker.
+	for i := 0; i < DefaultStaleGraceSlots+2 && !st.Detached; i++ {
+		g.Step()
+		st, _ = g.StatsFor(id)
+	}
+	if !st.Detached {
+		t.Fatal("disconnected user never detached")
+	}
+	if st.DetachReason == DetachBreaker {
+		t.Errorf("fatal-path detach attributed to breaker")
+	}
+}
+
+// Satellite regression: a single transient delivery failure must not
+// detach the user; the grant is retried after backoff and the session
+// completes end to end with no data loss.
+func TestOnceFailingEndpointRecovers(t *testing.T) {
+	inner, err := NewLocalEndpoint(signal.Constant(-60, signal.DefaultBounds), 400, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := &onceFailingEndpoint{LocalEndpoint: inner}
+	g, _ := New(testConfig(), sched.NewDefault())
+	src, _ := NewPatternSource(2000)
+	id, err := g.Attach(ep, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80 && !g.AllDone(); i++ {
+		if _, err := g.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := g.StatsFor(id)
+	if st.Detached {
+		t.Fatalf("once-failing endpoint was detached (reason %q)", st.DetachReason)
+	}
+	if !g.AllDone() {
+		t.Fatal("delivery did not finish")
+	}
+	if st.TransientErrors != 1 {
+		t.Errorf("transient errors = %d, want 1", st.TransientErrors)
+	}
+	if got := inner.ReceivedBytes(); got != 2_000_000 {
+		t.Errorf("received %d bytes, want 2000000", got)
+	}
+	if err := Verify(inner.Payload()); err != nil {
+		t.Error(err)
+	}
+	if d := g.Diagnostics(); d.Reattaches != 1 {
+		t.Errorf("diagnostics reattaches = %d, want 1", d.Reattaches)
+	}
+}
+
+// onceFailingEndpoint fails exactly its first Deliver with a transient
+// error, then delegates to the wrapped LocalEndpoint.
+type onceFailingEndpoint struct {
+	*LocalEndpoint
+	failed bool
+}
+
+func (e *onceFailingEndpoint) Deliver(p []byte) error {
+	if !e.failed {
+		e.failed = true
+		return Transient(errors.New("injected transient failure"))
+	}
+	return e.LocalEndpoint.Deliver(p)
 }
 
 func TestForwardBypass(t *testing.T) {

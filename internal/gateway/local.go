@@ -66,7 +66,7 @@ func (e *LocalEndpoint) Deliver(p []byte) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.connected {
-		return fmt.Errorf("gateway: endpoint disconnected")
+		return Fatal(fmt.Errorf("gateway: endpoint disconnected"))
 	}
 	e.received += int64(len(p))
 	if e.retain {

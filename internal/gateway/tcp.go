@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"jointstream/internal/units"
 )
@@ -32,6 +34,11 @@ type TCPEndpoint struct {
 	sig  units.DBm
 	rate units.KBps
 	gone bool
+	// ioTimeout, when positive, bounds every conn write (and the
+	// background reader's waits) so a wedged peer can never hang a
+	// Deliver forever: the write deadline surfaces as a transient
+	// timeout the gateway's retry policy absorbs.
+	ioTimeout time.Duration
 }
 
 // Report implements Endpoint.
@@ -44,22 +51,34 @@ func (e *TCPEndpoint) Report() (Report, bool) {
 	return Report{Sig: e.sig, Rate: e.rate}, true
 }
 
-// Deliver implements Endpoint: one DATA frame per slot grant.
+// Deliver implements Endpoint: one DATA frame per slot grant. Write
+// timeouts are returned as-is (the classifier calls them transient and
+// the gateway retries); any other write failure marks the client gone.
 func (e *TCPEndpoint) Deliver(p []byte) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.gone {
-		return fmt.Errorf("gateway: client gone")
+		return Fatal(fmt.Errorf("gateway: client gone"))
+	}
+	if e.ioTimeout > 0 {
+		e.conn.SetWriteDeadline(time.Now().Add(e.ioTimeout))
 	}
 	if _, err := fmt.Fprintf(e.conn, "DATA %d\n", len(p)); err != nil {
-		e.gone = true
-		return err
+		return e.writeErr(err)
 	}
 	if _, err := e.conn.Write(p); err != nil {
-		e.gone = true
-		return err
+		return e.writeErr(err)
 	}
 	return nil
+}
+
+// writeErr marks the endpoint gone on fatal write failures; timeouts
+// leave it attached for the retry path. Callers hold e.mu.
+func (e *TCPEndpoint) writeErr(err error) error {
+	if Classify(err) == FatalError {
+		e.gone = true
+	}
+	return err
 }
 
 // markGone flags the endpoint as disconnected.
@@ -82,21 +101,53 @@ type Hello struct {
 	Rate    units.KBps
 }
 
-// parseHello validates a HELLO line.
+// finite reports whether v is a usable (non-NaN, non-Inf) float.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// parseHello validates a HELLO line. Non-finite parameters (NaN, Inf)
+// are rejected: NaN in particular compares false against every bound and
+// would otherwise slip through and poison the radio model.
 func parseHello(line string) (Hello, error) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) != 3 || fields[0] != "HELLO" {
 		return Hello{}, fmt.Errorf("gateway: bad handshake %q", strings.TrimSpace(line))
 	}
 	size, err := strconv.ParseFloat(fields[1], 64)
-	if err != nil || size <= 0 {
+	if err != nil || !finite(size) || size <= 0 {
 		return Hello{}, fmt.Errorf("gateway: bad video size %q", fields[1])
 	}
 	rate, err := strconv.ParseFloat(fields[2], 64)
-	if err != nil || rate <= 0 {
+	if err != nil || !finite(rate) || rate <= 0 {
 		return Hello{}, fmt.Errorf("gateway: bad rate %q", fields[2])
 	}
 	return Hello{VideoKB: units.KB(size), Rate: units.KBps(rate)}, nil
+}
+
+// parseSig parses a SIG line, rejecting malformed and non-finite values.
+// ok=false means the line was not an acceptable SIG update (the reader
+// ignores it; the protocol tolerates unknown lines).
+func parseSig(line string) (units.DBm, bool) {
+	f := strings.Fields(strings.TrimSpace(line))
+	if len(f) != 2 || f[0] != "SIG" {
+		return 0, false
+	}
+	dbm, err := strconv.ParseFloat(f[1], 64)
+	if err != nil || !finite(dbm) {
+		return 0, false
+	}
+	return units.DBm(dbm), true
+}
+
+// ConnOptions tunes AttachConnWith.
+type ConnOptions struct {
+	// InitialSig seeds the report until the first SIG line arrives.
+	InitialSig units.DBm
+	// IOTimeout, when positive, is applied as a per-operation deadline to
+	// the handshake read, every SIG read and every DATA write, so neither
+	// the background reader nor the transmitter can hang forever on a
+	// wedged peer. A reader deadline expiry (no SIG for IOTimeout) marks
+	// the client gone, handing it to the gateway's stale-report policy.
+	IOTimeout time.Duration
 }
 
 // AttachConn performs the HELLO handshake on conn, attaches the resulting
@@ -104,7 +155,15 @@ func parseHello(line string) (Hello, error) {
 // background reader that applies SIG updates until the client hangs up.
 // The initial report uses initialSig until the first SIG line arrives.
 func AttachConn(gw *Gateway, conn net.Conn, initialSig units.DBm) (int, error) {
+	return AttachConnWith(gw, conn, ConnOptions{InitialSig: initialSig})
+}
+
+// AttachConnWith is AttachConn with explicit options.
+func AttachConnWith(gw *Gateway, conn net.Conn, opts ConnOptions) (int, error) {
 	br := bufio.NewReader(conn)
+	if opts.IOTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(opts.IOTimeout))
+	}
 	line, err := br.ReadString('\n')
 	if err != nil {
 		return 0, fmt.Errorf("gateway: handshake read: %w", err)
@@ -113,7 +172,7 @@ func AttachConn(gw *Gateway, conn net.Conn, initialSig units.DBm) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	ep := &TCPEndpoint{conn: conn, sig: initialSig, rate: hello.Rate}
+	ep := &TCPEndpoint{conn: conn, sig: opts.InitialSig, rate: hello.Rate, ioTimeout: opts.IOTimeout}
 	src, err := NewPatternSource(hello.VideoKB)
 	if err != nil {
 		return 0, err
@@ -125,16 +184,16 @@ func AttachConn(gw *Gateway, conn net.Conn, initialSig units.DBm) (int, error) {
 	go func() {
 		defer conn.Close()
 		for {
+			if opts.IOTimeout > 0 {
+				conn.SetReadDeadline(time.Now().Add(opts.IOTimeout))
+			}
 			line, err := br.ReadString('\n')
 			if err != nil {
 				ep.markGone()
 				return
 			}
-			f := strings.Fields(strings.TrimSpace(line))
-			if len(f) == 2 && f[0] == "SIG" {
-				if dbm, err := strconv.ParseFloat(f[1], 64); err == nil {
-					ep.setSig(units.DBm(dbm))
-				}
+			if dbm, ok := parseSig(line); ok {
+				ep.setSig(dbm)
 			}
 		}
 	}()

@@ -192,6 +192,151 @@ func TestAttachConnRejectsBadHandshake(t *testing.T) {
 	server.Close()
 }
 
+func TestParseSig(t *testing.T) {
+	good := []struct {
+		line string
+		want units.DBm
+	}{
+		{"SIG -60\n", -60},
+		{"SIG -75.5\n", -75.5},
+		{"  SIG 0  \n", 0},
+	}
+	for _, c := range good {
+		got, ok := parseSig(c.line)
+		if !ok || got != c.want {
+			t.Errorf("parseSig(%q) = %v, %v; want %v, true", c.line, got, ok, c.want)
+		}
+	}
+	bad := []string{
+		"",
+		"SIG\n",
+		"SIG -60 extra\n",
+		"SIG abc\n",
+		"SIG NaN\n",
+		"SIG Inf\n",
+		"SIG -Inf\n",
+		"sig -60\n",
+		"DATA 5\n",
+	}
+	for _, line := range bad {
+		if _, ok := parseSig(line); ok {
+			t.Errorf("parseSig accepted %q", line)
+		}
+	}
+}
+
+// TestAttachConnIgnoresMalformedSig: garbage and malformed SIG lines on
+// the control stream must neither corrupt the report nor kill the
+// reader; a subsequent well-formed SIG still lands.
+func TestAttachConnIgnoresMalformedSig(t *testing.T) {
+	gw, err := New(testConfig(), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	defer client.Close()
+	done := make(chan int, 1)
+	go func() {
+		id, err := AttachConn(gw, server, -80)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- id
+	}()
+	fmt.Fprintf(client, "HELLO 1000 400\n")
+	<-done
+	// Drain gateway->client DATA frames so pipe writes never block.
+	go io.Copy(io.Discard, client)
+	fmt.Fprintf(client, "SIG NaN\nGARBAGE LINE\nSIG\nSIG -42\n")
+	gw.mu.Lock()
+	ep := gw.users[0].ep.(*TCPEndpoint)
+	gw.mu.Unlock()
+	deadline := time.After(5 * time.Second)
+	for {
+		rep, ok := ep.Report()
+		if ok && rep.Sig == -42 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("SIG update never applied; report = %+v, %v", rep, ok)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestAttachConnMidHandshakeDisconnect: a peer that hangs up before
+// completing the HELLO line must produce an attach error, not a hang or
+// a half-attached user.
+func TestAttachConnMidHandshakeDisconnect(t *testing.T) {
+	gw, err := New(testConfig(), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := AttachConn(gw, server, -80)
+		done <- err
+	}()
+	// Partial handshake, then disconnect without the terminating newline.
+	fmt.Fprintf(client, "HELLO 10")
+	client.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("mid-handshake disconnect accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AttachConn hung on mid-handshake disconnect")
+	}
+	gw.mu.Lock()
+	n := len(gw.users)
+	gw.mu.Unlock()
+	if n != 0 {
+		t.Errorf("half-attached users = %d, want 0", n)
+	}
+}
+
+// TestClientReadFrameTruncatedData: a DATA frame whose payload is cut
+// short by a disconnect must surface an error, not a silent short read.
+func TestClientReadFrameTruncatedData(t *testing.T) {
+	server, client := net.Pipe()
+	go func() {
+		buf := make([]byte, 64)
+		server.Read(buf) // drain handshake
+		fmt.Fprintf(server, "DATA 1000\npartial")
+		server.Close()
+	}()
+	c, err := NewClient(client, 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ReadFrame(); err == nil {
+		t.Error("truncated DATA frame accepted")
+	}
+}
+
+// TestClientReadFrameNegativeCount: a negative DATA length is a protocol
+// error, never a payload read.
+func TestClientReadFrameNegativeCount(t *testing.T) {
+	server, client := net.Pipe()
+	go func() {
+		buf := make([]byte, 64)
+		server.Read(buf)
+		fmt.Fprintf(server, "DATA -5\n")
+	}()
+	c, err := NewClient(client, 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ReadFrame(); err == nil {
+		t.Error("negative DATA count accepted")
+	}
+}
+
 func TestTCPEndpointReportAndLifecycle(t *testing.T) {
 	server, client := net.Pipe()
 	defer server.Close()
