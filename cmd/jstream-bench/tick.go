@@ -36,18 +36,25 @@ type tickEntry struct {
 	Workers   int     `json:"workers"` // resolved count actually used
 	Slots     int     `json:"slots"`
 	NsPerSlot float64 `json:"ns_per_slot"`
-	// Speedup is serial ns/slot over this entry's, for the same N.
+	// Speedup is serial ns/slot over this entry's, for the same N. It is
+	// only written when the parallel arm actually resolved to more than
+	// one worker: on GOMAXPROCS=1 machines both arms run the same serial
+	// configuration and a "speedup" would just be measurement noise
+	// masquerading as a parallel result.
 	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // tickReport is the JSON document -tick writes.
 type tickReport struct {
-	Cores      int         `json:"cores"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	GoVersion  string      `json:"go_version"`
-	Scheduler  string      `json:"scheduler"`
-	Reps       int         `json:"reps"`
-	Entries    []tickEntry `json:"entries"`
+	Cores      int    `json:"cores"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Scheduler  string `json:"scheduler"`
+	Reps       int    `json:"reps"`
+	// Note records measurement caveats, e.g. that speedups were omitted
+	// because the run had only one scheduling core.
+	Note    string      `json:"note,omitempty"`
+	Entries []tickEntry `json:"entries"`
 }
 
 // tickSlotsFor scales the horizon down as N grows so every tier costs
@@ -77,6 +84,9 @@ func measureTick(userTiers []int, slotOverride, reps int) (*tickReport, error) {
 		Scheduler:  "Default",
 		Reps:       reps,
 	}
+	if rep.GoMaxProcs == 1 {
+		rep.Note = "GOMAXPROCS=1: both arms ran serially, speedups omitted"
+	}
 	for _, users := range userTiers {
 		sessions, err := workload.Generate(workload.PaperDefaults(users), rng.New(42))
 		if err != nil {
@@ -105,7 +115,7 @@ func measureTick(userTiers []int, slotOverride, reps int) (*tickReport, error) {
 			e := tickEntry{Users: users, Arm: arm.name, Workers: arm.workers, Slots: slots, NsPerSlot: best}
 			if arm.name == "serial" {
 				serial = best
-			} else if best > 0 {
+			} else if best > 0 && arm.workers > 1 {
 				e.Speedup = serial / best
 			}
 			rep.Entries = append(rep.Entries, e)
@@ -174,6 +184,9 @@ func runTick(outPath, usersCSV string, slotOverride, reps int) error {
 	}
 	fmt.Printf("tick benchmark (%d cores, GOMAXPROCS=%d, best of %d):\n",
 		rep.Cores, rep.GoMaxProcs, rep.Reps)
+	if rep.Note != "" {
+		fmt.Printf("  note: %s\n", rep.Note)
+	}
 	for _, e := range rep.Entries {
 		line := fmt.Sprintf("  N=%-7d %-8s workers=%-2d slots=%-4d %12.0f ns/slot", e.Users, e.Arm, e.Workers, e.Slots, e.NsPerSlot)
 		if e.Speedup > 0 {

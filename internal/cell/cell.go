@@ -326,15 +326,27 @@ func (r *Result) MeanEnergyPerUser() units.MJ {
 	return r.TotalEnergy() / units.MJ(len(r.Users))
 }
 
-// userState is the simulator's mutable per-user record.
+// userState is the simulator's mutable per-user record. The playout
+// buffer and RRC machine are embedded by value (initialized in place via
+// their Init methods), so the whole per-user state lives in one flat
+// array — no per-user heap objects for the garbage collector to chase and
+// no pointer hop per field read in the tick path.
 type userState struct {
-	session *workload.Session
-	buf     *playback.Buffer
-	machine *rrc.Machine
-	abrCtl  *abr.Controller // nil unless Config.ABR is set
+	buf playback.Buffer
 	// prevRate is the last playing slot's selected rate, for switch
 	// counting; 0 until the first playing slot.
 	prevRate units.KBps
+	// tailGap and everActive are the user's RRC machine state, flattened
+	// from rrc.Machine: the profile is shared by every user and lives once
+	// in Config.RRC, so carrying a per-user copy would only bloat the
+	// array. The commit phase applies exactly Machine's transitions —
+	// Transfer resets the gap, an idle slot burns TailIncrement(gap, τ)
+	// and advances the gap only once a transfer has ever happened.
+	tailGap    units.Seconds
+	everActive bool
+	// startSlot caches session.StartSlot so the per-slot phases never
+	// chase the session pointer for the one field they need every slot.
+	startSlot int32
 	// retired marks a user the engine has dropped from the live list:
 	// playback and delivery are complete and the RRC tail is drained, so
 	// every remaining slot would contribute exactly zero to every total.
@@ -352,19 +364,39 @@ const defaultShardSize = 256
 type Simulator struct {
 	cfg   Config
 	sched sched.Scheduler
-	users []*userState
+	// users is the flat per-user mutable state. It is deliberately
+	// pointer-free (the GC never scans it); the per-user pointers live in
+	// the parallel sessions/abrCtls slices, which the hot phases touch
+	// only on the cold paths.
+	users    []userState
+	sessions []*workload.Session
+	abrCtls  []*abr.Controller // nil unless Config.ABR is set
+	// tailDrained caches cfg.RRC.TailDrainedAfter() for the per-slot
+	// retirement scan.
+	tailDrained units.Seconds
 
 	// Per-slot scratch, allocated once in New and reused by every tick:
 	// the scheduler's cross-layer view and the allocation vector.
 	slot  sched.Slot
 	alloc []int
 
+	// cols is the engine's struct-of-arrays slot view (RunCtx attaches it
+	// as slot.Cols). The dynamic columns (Active, BufferSec, RemainingKB,
+	// TailGap, NeverActive, MaxUnits) are engine-owned arrays refreshed in
+	// place each slot; the static physics columns alias the link table's
+	// slot windows (attachSlotColumns) when one is compiled, and are
+	// engine-owned otherwise. With ABR the Rate column is always
+	// engine-owned — the player picks rates per slot, and the shared
+	// immutable table must never be written through.
+	cols  sched.Columns
+	luCol []int32 // slot's Eq. (1) link-unit column (link-table path only)
+
 	// Engine state for the sharded active-list tick path (Run).
 	workers   int        // resolved Config.Workers (0 → GOMAXPROCS)
 	shardSize int        // resolved Config.ShardSize (0 → defaultShardSize)
 	link      *LinkTable // flattened link view; nil → interface path
-	live      []int // started, unretired users, ascending index
-	pending   []int // not-yet-started users, ordered by (StartSlot, index)
+	live      []int      // started, unretired users, ascending index
+	pending   []int      // not-yet-started users, ordered by (StartSlot, index)
 	// unfinished counts users that keep the run going: not started yet,
 	// or started with playback incomplete. Zero means the old full-scan
 	// loop's allDone condition holds.
@@ -403,36 +435,40 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 	if len(sessions) == 0 {
 		return nil, fmt.Errorf("cell: no sessions")
 	}
-	sim := &Simulator{cfg: cfg, sched: s, users: make([]*userState, len(sessions))}
+	sim := &Simulator{
+		cfg: cfg, sched: s,
+		users:    make([]userState, len(sessions)),
+		sessions: sessions,
+		// Config.Validate vetted the shared RRC profile above; every user
+		// starts in IDLE with no transfer history (the rrc.Machine zero
+		// state), which the zeroed users array already encodes.
+		tailDrained: cfg.RRC.TailDrainedAfter(),
+	}
+	if cfg.ABR != nil {
+		sim.abrCtls = make([]*abr.Controller, len(sessions))
+	}
 	for i, sess := range sessions {
 		if sess.ID != i {
 			return nil, fmt.Errorf("cell: session %d has ID %d; IDs must be dense", i, sess.ID)
 		}
-		var (
-			buf *playback.Buffer
-			err error
-		)
+		u := &sim.users[i]
+		u.startSlot = int32(sess.StartSlot)
+		var err error
 		if cfg.ABR != nil {
-			buf, err = playback.NewSeconds(sess.Duration())
+			err = u.buf.InitSeconds(sess.Duration())
 		} else {
-			buf, err = playback.New(sess.Size, sess.Duration())
+			err = u.buf.Init(sess.Size, sess.Duration())
 		}
 		if err != nil {
 			return nil, fmt.Errorf("cell: user %d buffer: %w", i, err)
 		}
-		m, err := rrc.NewMachine(cfg.RRC)
-		if err != nil {
-			return nil, err
-		}
-		u := &userState{session: sess, buf: buf, machine: m}
 		if cfg.ABR != nil {
 			ctl, err := abr.NewController(*cfg.ABR)
 			if err != nil {
 				return nil, err
 			}
-			u.abrCtl = ctl
+			sim.abrCtls[i] = ctl
 		}
-		sim.users[i] = u
 	}
 	sim.workers = cfg.Workers
 	if sim.workers == 0 {
@@ -474,12 +510,30 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 		Tau:           cfg.Tau,
 		Unit:          cfg.Unit,
 		CapacityUnits: floorUnits(float64(cfg.Capacity)*float64(cfg.Tau), float64(cfg.Unit)),
-		Users:         make([]sched.User, len(sessions)),
-	}
-	for i := range sim.slot.Users {
-		sim.slot.Users[i] = sched.User{Index: i}
 	}
 	sim.capUnits = sim.slot.CapacityUnits
+	// Column storage for the SoA slot view (RunCtx). Dynamic columns are
+	// always engine-owned; the static physics columns are allocated only
+	// when no link table backs them (attachSlotColumns aliases the table's
+	// slot windows otherwise), and the Rate column additionally whenever
+	// ABR overrides the workload rates.
+	n := len(sessions)
+	sim.cols = sched.Columns{
+		Active:      make([]bool, n),
+		BufferSec:   make([]units.Seconds, n),
+		RemainingKB: make([]units.KB, n),
+		TailGap:     make([]units.Seconds, n),
+		NeverActive: make([]bool, n),
+		MaxUnits:    make([]int32, n),
+	}
+	if sim.link == nil {
+		sim.cols.Sig = make([]units.DBm, n)
+		sim.cols.LinkRate = make([]units.KBps, n)
+		sim.cols.EnergyPerKB = make([]units.MJ, n)
+		sim.cols.Rate = make([]units.KBps, n)
+	} else if cfg.ABR != nil {
+		sim.cols.Rate = make([]units.KBps, n)
+	}
 	sim.alloc = make([]int, len(sessions))
 	// Admission order: users enter the live list as the clock reaches
 	// their StartSlot, ties resolved by index (the stable sort keeps the
@@ -534,59 +588,49 @@ func (s *Simulator) begin() error {
 	return nil
 }
 
-// prepareUser fills user i's scheduler view for slot slotIdx and reports
-// whether the user is active (wants data this slot). It reads only the
-// link table lt (or, when lt is nil, the prewarmed session memos through
-// the signal/radio interfaces) and writes only user-i state, so distinct
-// users prepare concurrently. The table is a parameter rather than read
-// from s.link so RunReference can force the analytic path without
-// mutating Simulator state.
-func (s *Simulator) prepareUser(lt *LinkTable, slotIdx, i int) bool {
-	u := s.users[i]
-	sess := u.session
+// abrDemand picks user i's slot rate and remaining demand under ABR: the
+// player selects p_i(n) from its ladder based on buffer occupancy, and
+// the remainder is the undelivered content time priced at that rate,
+// capped at the buffer-headroom request. Shared by both prepare paths.
+func (s *Simulator) abrDemand(i int, u *userState, active bool) (units.KBps, units.KB) {
+	ctl := s.abrCtls[i]
+	var rate units.KBps
+	if active {
+		rate = ctl.Pick(u.buf.Occupancy())
+	} else {
+		rate = ctl.Current()
+	}
+	// The player requests at most its buffer-cap headroom of content per
+	// slot (plus the slot being played), and never more than the
+	// remaining video.
+	wantSec := s.cfg.ABR.WantSeconds(u.buf.Occupancy()) + s.cfg.Tau
+	if rem := u.buf.RemainingSeconds(); wantSec > rem {
+		wantSec = rem
+	}
+	return rate, units.KB(float64(wantSec) * float64(rate))
+}
+
+// prepareUser fills user i's array-of-structs scheduler view for slot
+// slotIdx and reports whether the user is active (wants data this slot).
+// It is the reference engine's prepare: the signal and radio models are
+// always evaluated analytically through the interfaces (never the link
+// table), so the engine differential tests assert flattened == analytic.
+// It writes only user-i state, so distinct users prepare concurrently.
+func (s *Simulator) prepareUser(slotIdx, i int) bool {
+	u := &s.users[i]
+	sess := s.sessions[i]
 	started := slotIdx >= sess.StartSlot
 	active := started && !u.buf.DeliveryComplete()
-	// Cross-layer link view: one packed row read when the table is
-	// compiled, the original interface walk otherwise. The flattened
-	// values are bitwise-identical by construction (asserted by the
-	// engine differential tests, which run the reference arm without
-	// the table).
-	var (
-		sig       units.DBm
-		link      units.KBps
-		epkb      units.MJ
-		rate      units.KBps
-		linkUnits int
-	)
-	if lt != nil {
-		r := &lt.rows[slotIdx*lt.users+i]
-		sig, link, epkb, rate, linkUnits = r.sig, r.link, r.epkb, r.rate, int(r.linkUnits)
-	} else {
-		sig = sess.Signal.At(slotIdx)
-		link = s.cfg.Radio.Throughput.Throughput(sig)
-		epkb = s.cfg.Radio.Power.EnergyPerKB(sig)
-		rate = sess.RateAt(slotIdx)
-		linkUnits = floorUnits(float64(link)*float64(s.cfg.Tau), float64(s.cfg.Unit))
-	}
+	sig := sess.Signal.At(slotIdx)
+	link := s.cfg.Radio.Throughput.Throughput(sig)
+	epkb := s.cfg.Radio.Power.EnergyPerKB(sig)
+	rate := sess.RateAt(slotIdx)
+	linkUnits := floorUnits(float64(link)*float64(s.cfg.Tau), float64(s.cfg.Unit))
 	// Remaining demand: fixed-rate sessions use the workload's rate and
-	// byte remainder; ABR sessions pick the rate from the player's
-	// buffer, and the remainder is the undelivered content time priced
-	// at that rate.
+	// byte remainder; ABR sessions pick the rate from the player's buffer.
 	remainingKB := u.buf.RemainingBytes()
-	if u.abrCtl != nil {
-		if active {
-			rate = u.abrCtl.Pick(u.buf.Occupancy())
-		} else {
-			rate = u.abrCtl.Current()
-		}
-		// The player requests at most its buffer-cap headroom of
-		// content per slot (plus the slot being played), and never
-		// more than the remaining video.
-		wantSec := s.cfg.ABR.WantSeconds(u.buf.Occupancy()) + s.cfg.Tau
-		if rem := u.buf.RemainingSeconds(); wantSec > rem {
-			wantSec = rem
-		}
-		remainingKB = units.KB(float64(wantSec) * float64(rate))
+	if s.abrCtls != nil {
+		rate, remainingKB = s.abrDemand(i, u, active)
 	}
 	maxUnits := linkUnits
 	remUnits := ceilUnits(float64(remainingKB), float64(s.cfg.Unit))
@@ -605,10 +649,80 @@ func (s *Simulator) prepareUser(lt *LinkTable, slotIdx, i int) bool {
 		Rate:        rate,
 		BufferSec:   u.buf.Occupancy(),
 		RemainingKB: remainingKB,
-		TailGap:     u.machine.Gap(),
-		NeverActive: !u.machine.EverActive(),
+		TailGap:     u.tailGap,
+		NeverActive: !u.everActive,
 		MaxUnits:    maxUnits,
 	}
+	return active
+}
+
+// attachSlotColumns points the SoA view's static physics columns at the
+// link table's slot-n windows: zero-copy reslices of shared immutable
+// memory, swapped per slot, never written through. Without a table the
+// columns are engine-owned arrays and prepareColsUser refreshes them.
+func (s *Simulator) attachSlotColumns(n int) {
+	if s.link == nil {
+		return
+	}
+	sig, link, epkb, rate, lu := s.link.slotColumns(n)
+	s.cols.Sig, s.cols.LinkRate, s.cols.EnergyPerKB = sig, link, epkb
+	s.luCol = lu
+	if s.cfg.ABR == nil {
+		s.cols.Rate = rate
+	}
+}
+
+// prepareColsUser refreshes user i's entries of the SoA slot view for
+// slot slotIdx and reports whether the user is active. With a link table
+// attached the static physics columns already alias the table's slot
+// windows, so only the dynamic columns (activity, buffer, demand, tail)
+// are written; without one the physics are evaluated through the
+// interfaces into the engine-owned columns, bitwise-identically to
+// prepareUser. Writes only user-i entries, so distinct users prepare
+// concurrently.
+func (s *Simulator) prepareColsUser(lt *LinkTable, slotIdx, i int) bool {
+	u := &s.users[i]
+	started := slotIdx >= int(u.startSlot)
+	active := started && !u.buf.DeliveryComplete()
+	c := &s.cols
+	var linkUnits int
+	if lt != nil {
+		linkUnits = int(s.luCol[i])
+	} else {
+		sess := s.sessions[i]
+		sig := sess.Signal.At(slotIdx)
+		link := s.cfg.Radio.Throughput.Throughput(sig)
+		c.Sig[i] = sig
+		c.LinkRate[i] = link
+		c.EnergyPerKB[i] = s.cfg.Radio.Power.EnergyPerKB(sig)
+		c.Rate[i] = sess.RateAt(slotIdx)
+		linkUnits = floorUnits(float64(link)*float64(s.cfg.Tau), float64(s.cfg.Unit))
+	}
+	remainingKB := u.buf.RemainingBytes()
+	if s.abrCtls != nil {
+		// Rate is engine-owned under ABR (never the aliased table column).
+		var rate units.KBps
+		rate, remainingKB = s.abrDemand(i, u, active)
+		c.Rate[i] = rate
+	}
+	maxUnits := linkUnits
+	// The remaining-demand cap needs the ceiling division only when it can
+	// bind: rem ≥ unit·linkUnits implies ⌈rem/unit⌉ ≥ linkUnits, so far-
+	// from-done users (the common case) skip the division entirely.
+	if float64(remainingKB) < float64(s.cfg.Unit)*float64(linkUnits) {
+		if remUnits := ceilUnits(float64(remainingKB), float64(s.cfg.Unit)); maxUnits > remUnits {
+			maxUnits = remUnits
+		}
+	}
+	if !active {
+		maxUnits = 0
+	}
+	c.Active[i] = active
+	c.BufferSec[i] = u.buf.Occupancy()
+	c.RemainingKB[i] = remainingKB
+	c.TailGap[i] = u.tailGap
+	c.NeverActive[i] = !u.everActive
+	c.MaxUnits[i] = int32(maxUnits)
 	return active
 }
 
@@ -635,75 +749,90 @@ type slotAccum struct {
 // only user-i state and acc, so distinct users commit concurrently as
 // long as each shard owns its acc.
 func (s *Simulator) commitUser(slotIdx, i int, res *Result, acc *slotAccum) error {
-	u := s.users[i]
-	view := &s.slot.Users[i]
+	u := &s.users[i]
+	ru := &res.Users[i]
+	// The slot accessors serve both view layouts, so one commit path
+	// covers the SoA engine and the AoS reference identically. View fields
+	// are read lazily: the ungranted majority touches none of them.
+	view := &s.slot
 	granted := s.alloc[i]
-	deliveredKB := units.KB(float64(granted) * float64(s.cfg.Unit))
-	// Cap the last shard at the true remainder so byte accounting
-	// stays exact even though units are discrete.
-	if deliveredKB > view.RemainingKB {
-		deliveredKB = view.RemainingKB
-	}
 
 	// Energy per Eq. (5): transmission when scheduled, tail when not.
 	// Eq. (3) reuses the per-KB price already materialized in the
 	// scheduler view (P is a pure function of the slot's signal), so the
 	// commit phase never re-enters the radio interfaces.
+	var deliveredKB units.KB
 	var slotEnergy units.MJ
 	if granted > 0 {
-		slotEnergy = units.MJ(float64(view.EnergyPerKB) * float64(deliveredKB))
-		res.Users[i].TransEnergy += slotEnergy
-		res.Users[i].ActiveSlots++
-		u.machine.Transfer()
+		deliveredKB = units.KB(float64(granted) * float64(s.cfg.Unit))
+		// Cap the last shard at the true remainder so byte accounting
+		// stays exact even though units are discrete.
+		if rem := view.RemainingKBAt(i); deliveredKB > rem {
+			deliveredKB = rem
+		}
+		slotEnergy = units.MJ(float64(view.EnergyPerKBAt(i)) * float64(deliveredKB))
+		ru.TransEnergy += slotEnergy
+		ru.ActiveSlots++
+		// Machine.Transfer: promote to DCH, reset the inactivity gap.
+		u.everActive = true
+		u.tailGap = 0
 	} else {
-		slotEnergy = u.machine.IdleSlot(s.cfg.Tau)
-		res.Users[i].TailEnergy += slotEnergy
+		// Machine.IdleSlot: a device that has never transferred sits in
+		// IDLE and neither burns tail energy nor ages a gap; otherwise the
+		// slot burns E_tail(gap+τ) − E_tail(gap) per Eq. (4).
+		if u.everActive {
+			slotEnergy = s.cfg.RRC.TailIncrement(u.tailGap, s.cfg.Tau)
+			u.tailGap += s.cfg.Tau
+		}
+		ru.TailEnergy += slotEnergy
 	}
-	res.Users[i].DeliveredKB += deliveredKB
+	ru.DeliveredKB += deliveredKB
 
 	// Buffer dynamics only for users that have started.
 	var c units.Seconds
-	if slotIdx >= u.session.StartSlot {
+	if slotIdx >= int(u.startSlot) {
+		viewRate := view.RateAt(i)
 		wasComplete := u.buf.PlaybackComplete()
 		var err error
-		c, err = u.buf.Advance(deliveredKB, view.Rate, s.cfg.Tau)
+		c, err = u.buf.Advance(deliveredKB, viewRate, s.cfg.Tau)
 		if err != nil {
 			return err
 		}
 		if !wasComplete && u.buf.PlaybackComplete() {
-			res.Users[i].CompletionSlot = slotIdx
+			ru.CompletionSlot = slotIdx
 			acc.completions++
 		}
 		if !wasComplete {
-			res.Users[i].QualitySum += float64(view.Rate)
-			res.Users[i].QualitySlots++
-			if u.prevRate != 0 && view.Rate != u.prevRate {
-				res.Users[i].QualitySwitches++
+			ru.QualitySum += float64(viewRate)
+			ru.QualitySlots++
+			if u.prevRate != 0 && viewRate != u.prevRate {
+				ru.QualitySwitches++
 			}
-			u.prevRate = view.Rate
+			u.prevRate = viewRate
+		}
+
+		// Fairness sample F_i = delivered/needed for users with a need.
+		// Activity implies a started user, so the check lives here.
+		if view.ActiveAt(i) {
+			needKB := float64(viewRate) * float64(s.cfg.Tau)
+			if rem := float64(view.RemainingKBAt(i)); needKB > rem {
+				needKB = rem
+			}
+			if needKB > 0 {
+				f := float64(deliveredKB) / needKB
+				if f > 1 {
+					f = 1
+				}
+				acc.fairNum += f
+				acc.fairDen += f * f
+				acc.fairCount++
+			}
 		}
 	}
-	res.Users[i].Rebuffer += c
+	ru.Rebuffer += c
 	acc.rebuffer += c
 	acc.energy += slotEnergy
 	acc.usedUnits += granted
-
-	// Fairness sample F_i = delivered/needed for users with a need.
-	if view.Active {
-		needKB := float64(view.Rate) * float64(s.cfg.Tau)
-		if needKB > float64(view.RemainingKB) {
-			needKB = float64(view.RemainingKB)
-		}
-		if needKB > 0 {
-			f := float64(deliveredKB) / needKB
-			if f > 1 {
-				f = 1
-			}
-			acc.fairNum += f
-			acc.fairDen += f * f
-			acc.fairCount++
-		}
-	}
 
 	if s.cfg.RecordPerUserSlots {
 		res.RebufferSamples[i] = append(res.RebufferSamples[i], float64(c))
@@ -724,17 +853,24 @@ func (s *Simulator) enforce(slot *sched.Slot, alloc []int) (int, error) {
 	clamps := 0
 	total := 0
 	for i := range alloc {
-		u := &slot.Users[i]
+		// A zero allocation can never violate Eq. (1)/(2) — MaxUnits is
+		// never negative and zero adds nothing to the total — so the scan
+		// skips the untouched majority without reading the view at all.
+		if alloc[i] == 0 {
+			continue
+		}
 		if alloc[i] < 0 {
 			alloc[i] = 0
 			clamps++
+			continue
 		}
-		if !u.Active && alloc[i] > 0 {
+		if !slot.ActiveAt(i) {
 			alloc[i] = 0
 			clamps++
+			continue
 		}
-		if alloc[i] > u.MaxUnits {
-			alloc[i] = u.MaxUnits
+		if m := slot.MaxUnitsAt(i); alloc[i] > m {
+			alloc[i] = m
 			clamps++
 		}
 		total += alloc[i]

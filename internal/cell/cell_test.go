@@ -176,7 +176,7 @@ type overAllocator struct{}
 func (overAllocator) Name() string { return "over" }
 func (overAllocator) Allocate(slot *sched.Slot, alloc []int) {
 	for i := range alloc {
-		alloc[i] = slot.Users[i].MaxUnits*2 + 10
+		alloc[i] = slot.MaxUnitsAt(i)*2 + 10
 	}
 }
 

@@ -3,9 +3,9 @@ package cell
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 
 	"jointstream/internal/pool"
-	"jointstream/internal/sched"
 )
 
 // This file implements the production tick engine: each slot splits into
@@ -41,6 +41,60 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 	alloc := s.alloc
 	link := s.link
 
+	// The production engine runs on the zero-copy column view: schedulers
+	// read through the Slot accessors, which route to s.cols whenever it is
+	// attached. The AoS Users slice stays nil here — only RunReference
+	// materializes it.
+	slot.Cols = &s.cols
+	slot.Users = nil
+
+	// Phase attribution for -cpuprofile: one labeled context per phase,
+	// created once outside the slot loop (pprof.Do would allocate per
+	// call). SetGoroutineLabels is allocation-free, and pool.Shard spawns
+	// its workers after the label is set, so shard goroutines inherit the
+	// current phase label.
+	prepareCtx := pprof.WithLabels(ctx, pprof.Labels("phase", "prepare"))
+	scheduleCtx := pprof.WithLabels(ctx, pprof.Labels("phase", "schedule"))
+	commitCtx := pprof.WithLabels(ctx, pprof.Labels("phase", "commit"))
+	defer pprof.SetGoroutineLabels(ctx)
+
+	// The shard bodies are built once and fed per-slot state through these
+	// captured variables: a closure literal inside the loop would capture
+	// slotIdx and allocate a fresh func value every slot, breaking the
+	// steady-state zero-allocation guarantee.
+	var (
+		curSlot   int
+		curShards int
+		curLive   []int
+	)
+	prepareShard := func(sh int) {
+		lo, hi := shardBounds(sh, curShards, len(curLive))
+		act := s.shardAct[sh][:0]
+		for _, i := range curLive[lo:hi] {
+			if s.prepareColsUser(link, curSlot, i) {
+				act = append(act, i)
+			}
+			alloc[i] = 0
+		}
+		s.shardAct[sh] = act
+	}
+	commitShard := func(sh int) {
+		lo, hi := shardBounds(sh, curShards, len(curLive))
+		acc := &s.shardAcc[sh]
+		*acc = slotAccum{errUser: -1}
+		for _, i := range curLive[lo:hi] {
+			if err := s.commitUser(curSlot, i, res, acc); err != nil {
+				acc.err = err
+				acc.errUser = i
+				return
+			}
+			if s.retireEligible(i) {
+				s.users[i].retired = true
+				acc.retires++
+			}
+		}
+	}
+
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cell: run cancelled at slot %d: %w", slotIdx, err)
@@ -50,29 +104,24 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 			break
 		}
 		slot.N = slotIdx
-		live := s.live
-		shards := s.shardCount(len(live))
+		shards := s.shardCount(len(s.live))
 		s.ensureShardScratch(shards)
+		curSlot, curShards, curLive = slotIdx, shards, s.live
 
-		// Phase 1: prepare. Each shard fills its users' views and collects
+		// Phase 1: prepare. Re-alias the static physics columns to this
+		// slot's link-table window (three slice-header writes), then each
+		// shard refreshes its users' dynamic columns in place and collects
 		// its segment of the active list.
-		pool.Shard(s.workers, shards, func(sh int) {
-			lo, hi := shardBounds(sh, shards, len(live))
-			act := s.shardAct[sh][:0]
-			for _, i := range live[lo:hi] {
-				if s.prepareUser(link, slotIdx, i) {
-					act = append(act, i)
-				}
-				alloc[i] = 0
-			}
-			s.shardAct[sh] = act
-		})
+		pprof.SetGoroutineLabels(prepareCtx)
+		s.attachSlotColumns(slotIdx)
+		pool.Shard(s.workers, shards, prepareShard)
 		s.activeBuf = s.activeBuf[:0]
 		for sh := 0; sh < shards; sh++ {
 			s.activeBuf = append(s.activeBuf, s.shardAct[sh]...)
 		}
 		slot.ActiveList = s.activeBuf
 
+		pprof.SetGoroutineLabels(scheduleCtx)
 		// Phase 2: schedule. One Allocate per slot, by contract serial.
 		// An outage slot has zero capacity: the scheduler is not consulted
 		// (alloc is already zeroed by prepare) and the commit phase applies
@@ -94,22 +143,8 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 
 		// Phase 3: commit. Each shard applies the physics to its users and
 		// accumulates partial sums; a shard stops at its first error.
-		pool.Shard(s.workers, shards, func(sh int) {
-			lo, hi := shardBounds(sh, shards, len(live))
-			acc := &s.shardAcc[sh]
-			*acc = slotAccum{errUser: -1}
-			for _, i := range live[lo:hi] {
-				if err := s.commitUser(slotIdx, i, res, acc); err != nil {
-					acc.err = err
-					acc.errUser = i
-					return
-				}
-				if s.retireEligible(i) {
-					s.users[i].retired = true
-					acc.retires++
-				}
-			}
-		})
+		pprof.SetGoroutineLabels(commitCtx)
+		pool.Shard(s.workers, shards, commitShard)
 
 		// Reduce in shard order: identical addition sequence regardless of
 		// worker count, and — with one shard — identical to the reference
@@ -149,7 +184,7 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 func (s *Simulator) admit(slotIdx int, res *Result) {
 	for len(s.pending) > 0 {
 		i := s.pending[0]
-		if s.users[i].session.StartSlot > slotIdx {
+		if int(s.users[i].startSlot) > slotIdx {
 			break
 		}
 		s.pending = s.pending[1:]
@@ -187,22 +222,29 @@ func insertSorted(xs []int, v int) []int {
 // slots after completion are where the tail energy the paper studies
 // accrues.
 func (s *Simulator) retireEligible(i int) bool {
-	u := s.users[i]
+	u := &s.users[i]
 	if !u.buf.PlaybackComplete() || !u.buf.DeliveryComplete() {
 		return false
 	}
-	m := u.machine
-	return !m.EverActive() || m.Gap() >= m.Profile().TailDrainedAfter()
+	return !u.everActive || u.tailGap >= s.tailDrained
 }
 
-// dropRetired compacts the live list, zeroing retired users' scheduler
-// views and allocations so a stale Active flag can never leak into a
-// later slot's scheduling.
+// dropRetired compacts the live list, zeroing retired users' dynamic
+// columns and allocations so a stale Active flag can never leak into a
+// later slot's scheduling. Only the engine-owned dynamic columns are
+// touched — the static physics columns may alias the shared link table
+// and must never be written through.
 func (s *Simulator) dropRetired() {
+	c := &s.cols
 	w := 0
 	for _, i := range s.live {
 		if s.users[i].retired {
-			s.slot.Users[i] = sched.User{Index: i}
+			c.Active[i] = false
+			c.BufferSec[i] = 0
+			c.RemainingKB[i] = 0
+			c.TailGap[i] = 0
+			c.NeverActive[i] = false
+			c.MaxUnits[i] = 0
 			s.alloc[i] = 0
 			continue
 		}

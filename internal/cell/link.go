@@ -13,44 +13,48 @@ import (
 )
 
 // This file implements the compiled link-table layer: after the sessions
-// are prewarmed, every user's trace is flattened into one contiguous
-// slot-major array of per-slot link rows — signal, throughput, per-KB
-// energy, required rate, and the Eq. (1) link limit in units. The tick
-// path's prepare phase then reads a packed 40-byte row per user-slot
-// instead of walking Signal.At → Throughput → EnergyPerKB through three
-// interface dispatches, and the radio curves are evaluated through a
-// quantized radio.Table when (and only when) that table is bitwise-exact
-// for the run's model, so flattening can never perturb the physics.
-// RunReference deliberately ignores the table, which makes the engine
-// differential tests assert flattened == analytic on every slot.
+// are prewarmed, every user's trace is flattened into contiguous
+// slot-major struct-of-arrays columns of per-slot link values — signal,
+// throughput, per-KB energy, required rate, and the Eq. (1) link limit in
+// units. The tick path's prepare phase then aliases each slot's column
+// window (a zero-copy reslice per column, never a copy) straight into the
+// sched.Columns view instead of materializing per-user structs, and the
+// radio curves are evaluated through a quantized radio.Table when (and
+// only when) that table is bitwise-exact for the run's model, so
+// flattening can never perturb the physics. RunReference deliberately
+// ignores the table, which makes the engine differential tests assert
+// flattened == analytic on every slot.
 
-// linkRow is one user-slot of the flattened link view.
-type linkRow struct {
-	sig  units.DBm
-	link units.KBps
-	epkb units.MJ
-	rate units.KBps
-	// linkUnits is ⌊τ·v(sig)/δ⌋, the Eq. (1) per-user limit before the
-	// remaining-demand cap.
-	linkUnits int32
-}
-
-// linkRowBytes is the in-memory size of one packed row, padding included,
-// so MemoryBytes (and the row-cap sizing math) track the struct layout.
-const linkRowBytes = int64(unsafe.Sizeof(linkRow{}))
+// linkRowBytes is the per-user-slot footprint across the parallel column
+// arrays, so MemoryBytes (and the row-cap sizing math) track the layout.
+const linkRowBytes = int64(unsafe.Sizeof(units.DBm(0)) + // sig
+	unsafe.Sizeof(units.KBps(0)) + // link
+	unsafe.Sizeof(units.MJ(0)) + // epkb
+	unsafe.Sizeof(units.KBps(0)) + // rate
+	unsafe.Sizeof(int32(0))) // linkUnits
 
 // LinkTable is the immutable flattened link view of one workload under
 // one radio model and slot grid. It is safe to share across any number
 // of concurrent Simulators (the experiment harness compiles one per
 // scenario and hands it to every scheduler run); nothing in the engine
-// writes to it.
+// writes to it — the engine only reslices the columns, so the slot views
+// it hands to schedulers alias this shared memory read-only.
 type LinkTable struct {
 	users int
 	slots int
 	tau   units.Seconds
 	unit  units.KB
-	lut   bool // rows were produced through an exact radio.Table
-	rows  []linkRow
+	lut   bool // columns were produced through an exact radio.Table
+
+	// Slot-major parallel columns, indexed by n*users+i: the window
+	// [n*users, (n+1)*users) is slot n's per-user column.
+	sig  []units.DBm
+	link []units.KBps
+	epkb []units.MJ
+	rate []units.KBps
+	// linkUnits is ⌊τ·v(sig)/δ⌋, the Eq. (1) per-user limit before the
+	// remaining-demand cap.
+	linkUnits []int32
 }
 
 // linkTableBins is the quantizer resolution of the radio LUT used during
@@ -59,10 +63,10 @@ type LinkTable struct {
 const linkTableBins = 4096
 
 // DefaultLinkTableMaxRows caps the automatic link-table compilation in
-// New at users×MaxSlots rows (linkRowBytes each): 4M rows ≈ 160 MB with
-// the current 40-byte layout. Larger runs fall back to the uncompiled
-// prepare path; callers that want a bigger table compile one explicitly
-// and pass it via Config.Link.
+// New at users×MaxSlots rows (linkRowBytes each): 4M rows ≈ 144 MB with
+// the current 36-byte column footprint. Larger runs fall back to the
+// uncompiled prepare path; callers that want a bigger table compile one
+// explicitly and pass it via Config.Link.
 const DefaultLinkTableMaxRows = 4 << 20
 
 // CompileLink flattens the sessions' per-slot link view for cfg's slot
@@ -84,26 +88,29 @@ func CompileLink(cfg Config, sessions []*workload.Session) (*LinkTable, error) {
 	workload.PrewarmAll(workers, sessions, slots)
 
 	t := &LinkTable{
-		users: users,
-		slots: slots,
-		tau:   cfg.Tau,
-		unit:  cfg.Unit,
-		rows:  make([]linkRow, users*slots),
+		users:     users,
+		slots:     slots,
+		tau:       cfg.Tau,
+		unit:      cfg.Unit,
+		sig:       make([]units.DBm, users*slots),
+		link:      make([]units.KBps, users*slots),
+		epkb:      make([]units.MJ, users*slots),
+		rate:      make([]units.KBps, users*slots),
+		linkUnits: make([]int32, users*slots),
 	}
 
 	// Pass A: flatten the stochastic per-user sequences (signal, rate)
 	// and find the observed signal domain for the quantizer. Each shard
-	// owns one user's column, so shards write disjoint rows.
+	// owns one user's column, so shards write disjoint entries.
 	type sigRange struct{ lo, hi float64 }
 	ranges := make([]sigRange, users)
 	pool.Shard(workers, users, func(i int) {
 		sess := sessions[i]
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for n := 0; n < slots; n++ {
-			r := &t.rows[n*users+i]
 			sig := sess.Signal.At(n)
-			r.sig = sig
-			r.rate = sess.RateAt(n)
+			t.sig[n*users+i] = sig
+			t.rate[n*users+i] = sess.RateAt(n)
 			if float64(sig) < lo {
 				lo = float64(sig)
 			}
@@ -120,7 +127,7 @@ func CompileLink(cfg Config, sessions []*workload.Session) (*LinkTable, error) {
 
 	// Pass B: evaluate the radio curves. The quantized LUT is used only
 	// when it is provably bitwise-exact for this model; otherwise each
-	// row calls the analytic model directly (still once per user-slot,
+	// entry calls the analytic model directly (still once per user-slot,
 	// still outside the tick path).
 	lut, err := radio.NewTable(cfg.Radio, units.DBm(lo), units.DBm(hi), linkTableBins)
 	if err != nil {
@@ -130,18 +137,18 @@ func CompileLink(cfg Config, sessions []*workload.Session) (*LinkTable, error) {
 	tau, unit := float64(cfg.Tau), float64(cfg.Unit)
 	pool.Shard(workers, users, func(i int) {
 		for n := 0; n < slots; n++ {
-			r := &t.rows[n*users+i]
+			idx := n*users + i
 			var v units.KBps
 			var p units.MJ
 			if t.lut {
-				v, p = lut.Lookup(r.sig)
+				v, p = lut.Lookup(t.sig[idx])
 			} else {
-				v = cfg.Radio.Throughput.Throughput(r.sig)
-				p = cfg.Radio.Power.EnergyPerKB(r.sig)
+				v = cfg.Radio.Throughput.Throughput(t.sig[idx])
+				p = cfg.Radio.Power.EnergyPerKB(t.sig[idx])
 			}
-			r.link = v
-			r.epkb = p
-			r.linkUnits = int32(floorUnits(float64(v)*tau, unit))
+			t.link[idx] = v
+			t.epkb[idx] = p
+			t.linkUnits[idx] = int32(floorUnits(float64(v)*tau, unit))
 		}
 	})
 	return t, nil
@@ -153,25 +160,33 @@ func (t *LinkTable) Users() int { return t.users }
 // Slots returns the slot horizon the table covers.
 func (t *LinkTable) Slots() int { return t.slots }
 
-// ViaLUT reports whether the rows were produced through an exact
+// ViaLUT reports whether the columns were produced through an exact
 // quantized radio.Table (false means direct analytic evaluation).
 func (t *LinkTable) ViaLUT() bool { return t.lut }
 
-// MemoryBytes returns the size of the packed row array.
+// MemoryBytes returns the total size of the packed column arrays.
 func (t *LinkTable) MemoryBytes() int64 {
-	return int64(len(t.rows)) * linkRowBytes
+	return int64(t.users) * int64(t.slots) * linkRowBytes
 }
 
-// linkVerifySamples bounds the per-attach row re-derivations performed by
-// compatible: enough rows, spread across users and slots, to make a
+// slotColumns returns zero-copy views of slot n's per-user columns. The
+// engine aliases these directly into the sched.Columns slot view; they
+// are shared immutable state and must never be written through.
+func (t *LinkTable) slotColumns(n int) (sig []units.DBm, link []units.KBps, epkb []units.MJ, rate []units.KBps, linkUnits []int32) {
+	lo, hi := n*t.users, (n+1)*t.users
+	return t.sig[lo:hi:hi], t.link[lo:hi:hi], t.epkb[lo:hi:hi], t.rate[lo:hi:hi], t.linkUnits[lo:hi:hi]
+}
+
+// linkVerifySamples bounds the per-attach entry re-derivations performed
+// by compatible: enough samples, spread across users and slots, to make a
 // mismatched model or workload essentially certain to trip, while keeping
 // the check O(1) relative to the table size.
 const linkVerifySamples = 16
 
 // compatible checks that a caller-supplied table matches the run it is
 // being attached to. Shape and slot grid are compared exactly; because
-// the radio model and sessions behind the rows cannot be compared
-// through the interfaces, a deterministic sample of rows is then
+// the radio model and sessions behind the columns cannot be compared
+// through the interfaces, a deterministic sample of entries is then
 // re-derived from cfg.Radio and the run's (already prewarmed) sessions
 // and required to match bitwise — the flattening path evaluates the same
 // floating-point expressions (the quantized LUT is used only when
@@ -195,29 +210,28 @@ func (t *LinkTable) compatible(cfg Config, sessions []*workload.Session) error {
 	}
 	tau, unit := float64(cfg.Tau), float64(cfg.Unit)
 	for k := 0; k < samples; k++ {
-		// Evenly strided over the flat slot-major array: consecutive
+		// Evenly strided over the flat slot-major arrays: consecutive
 		// samples land on different users and well-separated slots.
 		idx := 0
 		if samples > 1 {
 			idx = k * (total - 1) / (samples - 1)
 		}
 		n, i := idx/t.users, idx%t.users
-		r := &t.rows[idx]
 		sess := sessions[i]
-		if sig := sess.Signal.At(n); r.sig != sig {
-			return fmt.Errorf("cell: link table user %d slot %d: signal %v != session's %v (compiled from a different workload?)", i, n, r.sig, sig)
+		if sig := sess.Signal.At(n); t.sig[idx] != sig {
+			return fmt.Errorf("cell: link table user %d slot %d: signal %v != session's %v (compiled from a different workload?)", i, n, t.sig[idx], sig)
 		}
-		if rate := sess.RateAt(n); r.rate != rate {
-			return fmt.Errorf("cell: link table user %d slot %d: rate %v != session's %v (compiled from a different workload?)", i, n, r.rate, rate)
+		if rate := sess.RateAt(n); t.rate[idx] != rate {
+			return fmt.Errorf("cell: link table user %d slot %d: rate %v != session's %v (compiled from a different workload?)", i, n, t.rate[idx], rate)
 		}
-		if v := cfg.Radio.Throughput.Throughput(r.sig); r.link != v {
-			return fmt.Errorf("cell: link table user %d slot %d: throughput %v != model's %v (compiled under a different radio model?)", i, n, r.link, v)
+		if v := cfg.Radio.Throughput.Throughput(t.sig[idx]); t.link[idx] != v {
+			return fmt.Errorf("cell: link table user %d slot %d: throughput %v != model's %v (compiled under a different radio model?)", i, n, t.link[idx], v)
 		}
-		if p := cfg.Radio.Power.EnergyPerKB(r.sig); r.epkb != p {
-			return fmt.Errorf("cell: link table user %d slot %d: energy/KB %v != model's %v (compiled under a different radio model?)", i, n, r.epkb, p)
+		if p := cfg.Radio.Power.EnergyPerKB(t.sig[idx]); t.epkb[idx] != p {
+			return fmt.Errorf("cell: link table user %d slot %d: energy/KB %v != model's %v (compiled under a different radio model?)", i, n, t.epkb[idx], p)
 		}
-		if lu := int32(floorUnits(float64(r.link)*tau, unit)); r.linkUnits != lu {
-			return fmt.Errorf("cell: link table user %d slot %d: link units %d != derived %d", i, n, r.linkUnits, lu)
+		if lu := int32(floorUnits(float64(t.link[idx])*tau, unit)); t.linkUnits[idx] != lu {
+			return fmt.Errorf("cell: link table user %d slot %d: link units %d != derived %d", i, n, t.linkUnits[idx], lu)
 		}
 	}
 	return nil

@@ -83,23 +83,23 @@ func TestLinkTableMatchesAnalytic(t *testing.T) {
 			tau, unit := float64(cfg.Tau), float64(cfg.Unit)
 			for n := 0; n < slots; n++ {
 				for i, sess := range sessions {
-					r := &lt.rows[n*users+i]
+					idx := n*users + i
 					sig := sess.Signal.At(n)
-					if r.sig != sig {
-						t.Fatalf("user %d slot %d: sig %v != %v", i, n, r.sig, sig)
+					if lt.sig[idx] != sig {
+						t.Fatalf("user %d slot %d: sig %v != %v", i, n, lt.sig[idx], sig)
 					}
-					if v := cfg.Radio.Throughput.Throughput(sig); r.link != v {
-						t.Fatalf("user %d slot %d: link %v != %v", i, n, r.link, v)
+					if v := cfg.Radio.Throughput.Throughput(sig); lt.link[idx] != v {
+						t.Fatalf("user %d slot %d: link %v != %v", i, n, lt.link[idx], v)
 					}
-					if p := cfg.Radio.Power.EnergyPerKB(sig); r.epkb != p {
-						t.Fatalf("user %d slot %d: energy/KB %v != %v", i, n, r.epkb, p)
+					if p := cfg.Radio.Power.EnergyPerKB(sig); lt.epkb[idx] != p {
+						t.Fatalf("user %d slot %d: energy/KB %v != %v", i, n, lt.epkb[idx], p)
 					}
-					if rate := sess.RateAt(n); r.rate != rate {
-						t.Fatalf("user %d slot %d: rate %v != %v", i, n, r.rate, rate)
+					if rate := sess.RateAt(n); lt.rate[idx] != rate {
+						t.Fatalf("user %d slot %d: rate %v != %v", i, n, lt.rate[idx], rate)
 					}
 					want := floorUnits(float64(cfg.Radio.Throughput.Throughput(sig))*tau, unit)
-					if int(r.linkUnits) != want {
-						t.Fatalf("user %d slot %d: linkUnits %d != %d", i, n, r.linkUnits, want)
+					if int(lt.linkUnits[idx]) != want {
+						t.Fatalf("user %d slot %d: linkUnits %d != %d", i, n, lt.linkUnits[idx], want)
 					}
 				}
 			}

@@ -3,6 +3,8 @@ package cell
 import (
 	"context"
 	"fmt"
+
+	"jointstream/internal/sched"
 )
 
 // RunReference executes the simulation with the original full-scan
@@ -27,6 +29,18 @@ func (s *Simulator) RunReferenceCtx(ctx context.Context) (*Result, error) {
 	alloc := s.alloc
 	slot.ActiveList = nil // schedulers exercise their full-scan fallback
 
+	// The reference arm runs on the original array-of-structs view: a
+	// materialized []sched.User rebuilt from scratch every slot, with the
+	// column view detached so the accessors route to it. This is the
+	// differential oracle the SoA engine must reproduce bit for bit.
+	slot.Cols = nil
+	if len(slot.Users) != len(s.users) {
+		slot.Users = make([]sched.User, len(s.users))
+		for i := range slot.Users {
+			slot.Users[i].Index = i
+		}
+	}
+
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cell: run cancelled at slot %d: %w", slotIdx, err)
@@ -34,13 +48,13 @@ func (s *Simulator) RunReferenceCtx(ctx context.Context) (*Result, error) {
 		slot.N = slotIdx
 		allDone := true
 		for i := range s.users {
-			u := s.users[i]
-			// nil link table: the reference arm always evaluates the
-			// signal and radio models analytically, so the differential
-			// tests assert the flattened table reproduces the interface
-			// path bitwise. s.link itself is left untouched.
-			s.prepareUser(nil, slotIdx, i)
-			if slotIdx < u.session.StartSlot || !u.buf.PlaybackComplete() {
+			u := &s.users[i]
+			// Analytic-only prepare: the reference arm always evaluates the
+			// signal and radio models through the interfaces, so the
+			// differential tests assert the flattened table reproduces the
+			// interface path bitwise. s.link itself is left untouched.
+			s.prepareUser(slotIdx, i)
+			if slotIdx < int(u.startSlot) || !u.buf.PlaybackComplete() {
 				allDone = false
 			}
 			alloc[i] = 0

@@ -40,30 +40,58 @@ type Buffer struct {
 	// player selects, so delivery completes when the delivered playback
 	// seconds cover the duration rather than when a byte count is reached.
 	secondsMode bool
+
+	// tol caches completionTolerance(duration) — a pure function of the
+	// duration — so the per-slot completion checks compare against a
+	// stored value instead of recomputing it.
+	tol units.Seconds
+}
+
+// Init resets b in place to a fresh buffer for a video of the given size
+// and total playback duration, without allocating. Duration is the paper's
+// M_i; for a constant-bit-rate session it equals size divided by the
+// encoding rate.
+func (b *Buffer) Init(size units.KB, duration units.Seconds) error {
+	if size <= 0 {
+		return fmt.Errorf("playback: non-positive video size %v", size)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("playback: non-positive duration %v", duration)
+	}
+	*b = Buffer{videoSize: size, duration: duration, tol: completionTolerance(duration)}
+	return nil
+}
+
+// InitSeconds resets b in place to a fresh adaptive-bitrate buffer: a
+// fixed content duration whose byte size follows the rates chosen at
+// delivery time. DeliveryComplete flips once the delivered playback
+// seconds cover the duration.
+func (b *Buffer) InitSeconds(duration units.Seconds) error {
+	if duration <= 0 {
+		return fmt.Errorf("playback: non-positive duration %v", duration)
+	}
+	*b = Buffer{duration: duration, secondsMode: true, tol: completionTolerance(duration)}
+	return nil
 }
 
 // New creates the buffer for a video of the given size and total playback
-// duration. Duration is the paper's M_i; for a constant-bit-rate session it
-// equals size divided by the encoding rate.
+// duration; see Init.
 func New(size units.KB, duration units.Seconds) (*Buffer, error) {
-	if size <= 0 {
-		return nil, fmt.Errorf("playback: non-positive video size %v", size)
+	b := new(Buffer)
+	if err := b.Init(size, duration); err != nil {
+		return nil, err
 	}
-	if duration <= 0 {
-		return nil, fmt.Errorf("playback: non-positive duration %v", duration)
-	}
-	return &Buffer{videoSize: size, duration: duration}, nil
+	return b, nil
 }
 
-// NewSeconds creates the buffer for an adaptive-bitrate session: a fixed
-// content duration whose byte size follows the rates chosen at delivery
-// time. DeliveryComplete flips once the delivered playback seconds cover
-// the duration.
+// NewSeconds creates the buffer for an adaptive-bitrate session; see
+// InitSeconds.
 func NewSeconds(duration units.Seconds) (*Buffer, error) {
-	if duration <= 0 {
-		return nil, fmt.Errorf("playback: non-positive duration %v", duration)
+	b := new(Buffer)
+	if err := b.InitSeconds(duration); err != nil {
+		return nil, err
 	}
-	return &Buffer{duration: duration, secondsMode: true}, nil
+	return b, nil
 }
 
 // SecondsMode reports whether this is an adaptive (content-time) session.
@@ -110,7 +138,7 @@ func (b *Buffer) RemainingBytes() units.KB {
 // all bytes in byte mode, all content seconds in seconds mode.
 func (b *Buffer) DeliveryComplete() bool {
 	if b.secondsMode {
-		return b.deliveredSec >= b.duration-completionTolerance(b.duration)
+		return b.deliveredSec >= b.duration-b.tol
 	}
 	return b.delivered >= b.videoSize
 }
@@ -127,7 +155,7 @@ func (b *Buffer) DeliveryComplete() bool {
 // seconds can ever arrive — which also covers variable-bit-rate sessions
 // whose realized Σ d/p differs slightly from the nominal duration.
 func (b *Buffer) PlaybackComplete() bool {
-	if b.elapsed >= b.duration-completionTolerance(b.duration) {
+	if b.elapsed >= b.duration-b.tol {
 		return true
 	}
 	return b.DeliveryComplete() && b.occupancy == 0 && b.pending == 0 && b.slots > 0
@@ -168,13 +196,28 @@ func (b *Buffer) Advance(delivered units.KB, rate units.KBps, tau units.Seconds)
 		return 0, fmt.Errorf("playback: delivery with non-positive rate %v", rate)
 	}
 
-	// Eq. (7): fold in the shard delivered in the previous slot, then age
-	// the buffer by one slot of playback.
-	b.occupancy = maxSec(b.occupancy-tauIfPlaying(b, tau), 0) + b.pending
+	// The two completion checks below (drain gate, rebuffer gate) share
+	// their inputs — elapsed, delivery and the pre-update slot count — so
+	// the predicates are evaluated once instead of re-deriving
+	// PlaybackComplete from scratch on both sides of the occupancy update.
+	elapsedDone := b.elapsed >= b.duration-b.tol
+	delivDone := b.DeliveryComplete()
+	complete := elapsedDone || (delivDone && b.occupancy == 0 && b.pending == 0 && b.slots > 0)
 
-	// Eq. (8): rebuffering accrues only while the video is still playing.
+	// Eq. (7): fold in the shard delivered in the previous slot, then age
+	// the buffer by one slot of playback (a finished session no longer
+	// drains).
+	drain := tau
+	if complete {
+		drain = 0
+	}
+	b.occupancy = maxSec(b.occupancy-drain, 0) + b.pending
+
+	// Eq. (8): rebuffering accrues only while the video is still playing —
+	// the completion predicate is re-checked against the updated occupancy
+	// (elapsed and delivery cannot have changed yet).
 	var c units.Seconds
-	if !b.PlaybackComplete() {
+	if !complete && !(delivDone && b.occupancy == 0 && b.pending == 0 && b.slots > 0) {
 		c = maxSec(tau-b.occupancy, 0)
 		// Playback progresses by however much of the slot had data.
 		played := tau - c
@@ -196,15 +239,6 @@ func (b *Buffer) Advance(delivered units.KB, rate units.KBps, tau units.Seconds)
 	}
 	b.slots++
 	return c, nil
-}
-
-// tauIfPlaying returns the playback drain for the slot: a finished session
-// no longer drains its buffer.
-func tauIfPlaying(b *Buffer, tau units.Seconds) units.Seconds {
-	if b.PlaybackComplete() {
-		return 0
-	}
-	return tau
 }
 
 func maxSec(a, b units.Seconds) units.Seconds {

@@ -189,12 +189,23 @@ type Machine struct {
 	everActive bool
 }
 
+// Init resets m in place to a Machine in IDLE with no transfer history,
+// without allocating.
+func (m *Machine) Init(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	*m = Machine{profile: p}
+	return nil
+}
+
 // NewMachine returns a Machine in IDLE with no transfer history.
 func NewMachine(p Profile) (*Machine, error) {
-	if err := p.Validate(); err != nil {
+	m := new(Machine)
+	if err := m.Init(p); err != nil {
 		return nil, err
 	}
-	return &Machine{profile: p}, nil
+	return m, nil
 }
 
 // Profile returns the machine's RRC parameters.

@@ -113,11 +113,10 @@ func (a *AdaptiveEMA) V() float64 { return a.inner.V() }
 // window boundaries, then delegate to the inner EMA's exact DP.
 func (a *AdaptiveEMA) Allocate(slot *Slot, alloc []int) {
 	for _, i := range slot.ActiveIndices(&a.act) {
-		u := &slot.Users[i]
 		a.userSlots++
-		if u.BufferSec < slot.Tau {
+		if buf := slot.BufferSecAt(i); buf < slot.Tau {
 			// The slot will stall for the uncovered remainder (Eq. 8).
-			a.stallAccum += float64(slot.Tau - u.BufferSec)
+			a.stallAccum += float64(slot.Tau - buf)
 		}
 	}
 	a.slotCount++

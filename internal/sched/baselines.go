@@ -37,10 +37,9 @@ func (t *Throttling) Allocate(slot *Slot, alloc []int) {
 		if remaining == 0 {
 			break
 		}
-		u := &slot.Users[i]
-		want := ceilDiv(t.factor*float64(u.Rate)*float64(slot.Tau), float64(slot.Unit))
-		if want > u.MaxUnits {
-			want = u.MaxUnits
+		want := ceilDiv(t.factor*float64(slot.RateAt(i))*float64(slot.Tau), float64(slot.Unit))
+		if m := slot.MaxUnitsAt(i); want > m {
+			want = m
 		}
 		if want > remaining {
 			want = remaining
@@ -76,22 +75,22 @@ func (*OnOff) Name() string { return "ON-OFF" }
 
 // Allocate implements Scheduler.
 func (o *OnOff) Allocate(slot *Slot, alloc []int) {
-	for len(o.on) < len(slot.Users) {
+	for len(o.on) < slot.NumUsers() {
 		o.on = append(o.on, true) // players start in ON
 	}
 	remaining := slot.CapacityUnits
 	for _, i := range slot.ActiveIndices(&o.act) {
-		u := &slot.Users[i]
 		// Hysteresis on the playback buffer.
-		if o.on[i] && u.BufferSec >= o.highSec {
+		buf := slot.BufferSecAt(i)
+		if o.on[i] && buf >= o.highSec {
 			o.on[i] = false
-		} else if !o.on[i] && u.BufferSec <= o.lowSec {
+		} else if !o.on[i] && buf <= o.lowSec {
 			o.on[i] = true
 		}
 		if !o.on[i] || remaining == 0 {
 			continue
 		}
-		a := u.MaxUnits
+		a := slot.MaxUnitsAt(i)
 		if a > remaining {
 			a = remaining
 		}
@@ -131,20 +130,19 @@ func (*SALSA) Name() string { return "SALSA" }
 
 // Allocate implements Scheduler.
 func (s *SALSA) Allocate(slot *Slot, alloc []int) {
-	for len(s.ewma) < len(slot.Users) {
+	for len(s.ewma) < slot.NumUsers() {
 		s.ewma = append(s.ewma, 0)
 	}
 	remaining := slot.CapacityUnits
 	for _, i := range slot.ActiveIndices(&s.act) {
-		u := &slot.Users[i]
-		rate := float64(u.LinkRate)
+		rate := float64(slot.LinkRateAt(i))
 		if s.ewma[i] == 0 {
 			s.ewma[i] = rate
 		} else {
 			s.ewma[i] = s.alpha*rate + (1-s.alpha)*s.ewma[i]
 		}
 		goodChannel := rate >= s.ewma[i]
-		urgent := u.BufferSec < s.urgentSec
+		urgent := slot.BufferSecAt(i) < s.urgentSec
 		if !goodChannel && !urgent {
 			continue // defer: wait for a cheaper slot
 		}
@@ -153,12 +151,12 @@ func (s *SALSA) Allocate(slot *Slot, alloc []int) {
 		}
 		// Send the playback need, doubled on good channels to exploit the
 		// cheap bytes (the energy-delay "work ahead" lever).
-		want := u.NeedUnits(slot.Tau, slot.Unit)
+		want := slot.NeedUnitsAt(i)
 		if goodChannel {
 			want *= 2
 		}
-		if want > u.MaxUnits {
-			want = u.MaxUnits
+		if m := slot.MaxUnitsAt(i); want > m {
+			want = m
 		}
 		if want > remaining {
 			want = remaining
@@ -196,25 +194,25 @@ func (*EStreamer) Name() string { return "EStreamer" }
 
 // Allocate implements Scheduler.
 func (e *EStreamer) Allocate(slot *Slot, alloc []int) {
-	for len(e.bursting) < len(slot.Users) {
+	for len(e.bursting) < slot.NumUsers() {
 		e.bursting = append(e.bursting, true)
 	}
 	remaining := slot.CapacityUnits
 	for _, i := range slot.ActiveIndices(&e.act) {
-		u := &slot.Users[i]
-		if e.bursting[i] && u.BufferSec >= e.burstSec {
+		buf := slot.BufferSecAt(i)
+		if e.bursting[i] && buf >= e.burstSec {
 			e.bursting[i] = false
-		} else if !e.bursting[i] && u.BufferSec <= e.resumeSec {
+		} else if !e.bursting[i] && buf <= e.resumeSec {
 			e.bursting[i] = true
 		}
 		if !e.bursting[i] || remaining == 0 {
 			continue
 		}
 		// Burst: fill toward the target watermark at link speed.
-		deficit := float64(e.burstSec-u.BufferSec) * float64(u.Rate)
+		deficit := float64(e.burstSec-buf) * float64(slot.RateAt(i))
 		want := ceilDiv(deficit, float64(slot.Unit))
-		if want > u.MaxUnits {
-			want = u.MaxUnits
+		if m := slot.MaxUnitsAt(i); want > m {
+			want = m
 		}
 		if want > remaining {
 			want = remaining

@@ -23,8 +23,7 @@ func (d *DefaultScheduler) Allocate(slot *Slot, alloc []int) {
 		if remaining == 0 {
 			break
 		}
-		u := &slot.Users[i]
-		a := u.MaxUnits
+		a := slot.MaxUnitsAt(i)
 		if a > remaining {
 			a = remaining
 		}

@@ -55,13 +55,14 @@ type EMA struct {
 	tailMemo    map[tailKey]float64
 
 	// DP scratch, reused across slots.
-	cost   []float64 // a[·]: best objective for exactly M units used
-	next   []float64
-	choice [][]uint16 // g[i][M]: units granted to i-th DP user at state M
-	dpUser []int      // indices of users participating in the DP
-	dqJ    []int32    // deque scratch: candidate predecessor states j
-	dqG    []float64  // deque scratch: g[j] = cost[j] − perUnit·j
-	act    []int      // ActiveIndices fallback scratch
+	cost    []float64 // a[·]: best objective for exactly M units used
+	next    []float64
+	choice  [][]uint16 // g[i][M]: units granted to i-th DP user at state M
+	dpUser  []int      // indices of users participating in the DP
+	dpBound int        // active-count bound for scratch growth this slot
+	dqJ     []int32    // deque scratch: candidate predecessor states j
+	dqG     []float64  // deque scratch: g[j] = cost[j] − perUnit·j
+	act     []int      // ActiveIndices fallback scratch
 }
 
 // tailKey identifies one memoized tail-energy increment.
@@ -146,21 +147,21 @@ func (e *EMA) tailIncrement(gap, tau units.Seconds) float64 {
 	return v
 }
 
-// slotCost evaluates f(i, ϕ) for one user.
-func (e *EMA) slotCost(slot *Slot, u *User, phi int) float64 {
+// slotCost evaluates f(i, ϕ) for the user at slot index i.
+func (e *EMA) slotCost(slot *Slot, i, phi int) float64 {
 	var energy float64
 	if phi > 0 {
-		energy = float64(u.EnergyPerKB) * float64(phi) * float64(slot.Unit)
-	} else if !u.NeverActive {
+		energy = float64(slot.EnergyPerKBAt(i)) * float64(phi) * float64(slot.Unit)
+	} else if !slot.NeverActiveAt(i) {
 		// Tail energy the radio burns idling through this slot (Eq. 4,
 		// incremental form).
-		energy = e.tailIncrement(u.TailGap, slot.Tau)
+		energy = e.tailIncrement(slot.TailGapAt(i), slot.Tau)
 	}
 	t := 0.0
 	if phi > 0 {
-		t = float64(phi) * float64(slot.Unit) / float64(u.Rate)
+		t = float64(phi) * float64(slot.Unit) / float64(slot.RateAt(i))
 	}
-	return e.v*energy + float64(e.queues[u.Index])*(float64(slot.Tau)-t)
+	return e.v*energy + float64(e.queues[i])*(float64(slot.Tau)-t)
 }
 
 // Allocate implements Scheduler following Alg. 2, solving the per-slot
@@ -178,16 +179,21 @@ func (e *EMA) AllocateRef(slot *Slot, alloc []int) {
 }
 
 func (e *EMA) allocate(slot *Slot, alloc []int, dp func(*EMA, *Slot, []int, int)) {
-	users := slot.Users
-	e.ensureQueues(len(users))
+	e.ensureQueues(slot.NumUsers())
 
 	// Active users with a positive link bound participate in the DP;
 	// everyone else necessarily gets ϕ = 0 and only contributes a constant
 	// to the objective, which cannot change the argmin.
+	active := slot.ActiveIndices(&e.act)
+	if cap(e.dpUser) < len(active) {
+		e.dpUser = make([]int, 0, len(active))
+	}
+	// The DP participant count fluctuates slot to slot; bound the scratch
+	// by the active count so a later, busier slot never allocates mid-run.
+	e.dpBound = len(active)
 	e.dpUser = e.dpUser[:0]
-	for _, i := range slot.ActiveIndices(&e.act) {
-		u := &users[i]
-		if u.MaxUnits > 0 && u.Rate > 0 {
+	for _, i := range active {
+		if slot.MaxUnitsAt(i) > 0 && slot.RateAt(i) > 0 {
 			e.dpUser = append(e.dpUser, i)
 		}
 	}
@@ -199,11 +205,10 @@ func (e *EMA) allocate(slot *Slot, alloc []int, dp func(*EMA, *Slot, []int, int)
 
 	// Eq. (16): advance every active user's virtual queue using the slot's
 	// final decision. Inactive users keep their queue frozen.
-	for _, i := range slot.ActiveIndices(&e.act) {
-		u := &users[i]
+	for _, i := range active {
 		t := 0.0
 		if alloc[i] > 0 {
-			t = float64(alloc[i]) * float64(slot.Unit) / float64(u.Rate)
+			t = float64(alloc[i]) * float64(slot.Unit) / float64(slot.RateAt(i))
 		}
 		e.queues[i] += units.Seconds(float64(slot.Tau) - t)
 	}
@@ -218,16 +223,16 @@ type userLine struct {
 
 // line decomposes user idx's slot cost for the DP solvers.
 func (e *EMA) line(slot *Slot, idx, capacity int) userLine {
-	u := &slot.Users[idx]
-	maxPhi := u.MaxUnits
+	maxPhi := slot.MaxUnitsAt(idx)
 	if maxPhi > capacity {
 		maxPhi = capacity
 	}
+	q := float64(e.queues[idx])
 	return userLine{
-		skip: e.slotCost(slot, u, 0),
-		base: float64(e.queues[u.Index]) * float64(slot.Tau),
-		perUnit: e.v*float64(u.EnergyPerKB)*float64(slot.Unit) -
-			float64(e.queues[u.Index])*float64(slot.Unit)/float64(u.Rate),
+		skip: e.slotCost(slot, idx, 0),
+		base: q * float64(slot.Tau),
+		perUnit: e.v*float64(slot.EnergyPerKBAt(idx))*float64(slot.Unit) -
+			q*float64(slot.Unit)/float64(slot.RateAt(idx)),
 		maxPhi: maxPhi,
 	}
 }
@@ -237,13 +242,21 @@ func (e *EMA) line(slot *Slot, idx, capacity int) userLine {
 func (e *EMA) prepareDP(n, capacity int) {
 	e.cost = resize(e.cost, capacity+1)
 	e.next = resize(e.next, capacity+1)
-	if cap(e.choice) < n {
-		e.choice = make([][]uint16, n)
+	// Grow the choice table to the slot's active-count bound (not just the
+	// DP participant count) so steady-state slots never allocate even when
+	// participation churns upward.
+	bound := n
+	if e.dpBound > bound {
+		bound = e.dpBound
 	}
-	e.choice = e.choice[:n]
+	if cap(e.choice) < bound {
+		e.choice = make([][]uint16, bound)
+	}
+	e.choice = e.choice[:bound]
 	for k := range e.choice {
 		e.choice[k] = resizeU16(e.choice[k], capacity+1)
 	}
+	e.choice = e.choice[:n]
 	e.cost[0] = 0
 	for m := 1; m <= capacity; m++ {
 		e.cost[m] = math.MaxFloat64

@@ -42,7 +42,7 @@ func randomSlotForDP(src *rng.Source, n, capacity int) *Slot {
 func objective(e *EMA, slot *Slot, alloc []int) float64 {
 	var sum float64
 	for i := range slot.Users {
-		sum += e.slotCost(slot, &slot.Users[i], alloc[i])
+		sum += e.slotCost(slot, i, alloc[i])
 	}
 	return sum
 }
@@ -92,7 +92,7 @@ func TestEMAFastMatchesRef(t *testing.T) {
 						maxUnits[i] = slot.Users[i].MaxUnits
 					}
 					_, bruteObj := BruteForceObjective(maxUnits, capacity, func(i, phi int) float64 {
-						return ref.slotCost(slot, &slot.Users[i], phi)
+						return ref.slotCost(slot, i, phi)
 					})
 					if !sameObjective(gotObj, bruteObj) {
 						t.Fatalf("cap=%d n=%d step=%d: fast objective %v != brute force %v",

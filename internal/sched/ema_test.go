@@ -97,7 +97,7 @@ func TestEMADPMatchesBruteForce(t *testing.T) {
 			maxUnits[i] = u.MaxUnits
 			costs[i] = make([]float64, u.MaxUnits+1)
 			for phi := 0; phi <= u.MaxUnits; phi++ {
-				costs[i][phi] = e.slotCost(slot, &slot.Users[i], phi)
+				costs[i][phi] = e.slotCost(slot, i, phi)
 			}
 		}
 		wantAlloc, wantCost := BruteForceObjective(maxUnits, capacity, func(i, phi int) float64 {

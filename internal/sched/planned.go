@@ -40,13 +40,12 @@ func (p *Planned) Allocate(slot *Slot, alloc []int) {
 		if i >= len(row) {
 			break
 		}
-		u := &slot.Users[i]
 		a := row[i]
-		if !u.Active {
+		if !slot.ActiveAt(i) {
 			a = 0
 		}
-		if a > u.MaxUnits {
-			a = u.MaxUnits
+		if m := slot.MaxUnitsAt(i); a > m {
+			a = m
 		}
 		if a > remaining {
 			a = remaining

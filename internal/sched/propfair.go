@@ -42,18 +42,17 @@ func (*ProportionalFair) Name() string { return "PropFair" }
 
 // Allocate implements Scheduler.
 func (p *ProportionalFair) Allocate(slot *Slot, alloc []int) {
-	for len(p.avg) < len(slot.Users) {
+	for len(p.avg) < slot.NumUsers() {
 		p.avg = append(p.avg, 0)
 	}
 	// Rank active users by rate/average (Inf for never-served users, who
 	// therefore go first — the standard cold-start behaviour).
 	p.cands = p.cands[:0]
 	for _, i := range slot.ActiveIndices(&p.act) {
-		u := &slot.Users[i]
-		if u.MaxUnits == 0 {
+		if slot.MaxUnitsAt(i) == 0 {
 			continue
 		}
-		inst := float64(u.LinkRate) * float64(slot.Tau)
+		inst := float64(slot.LinkRateAt(i)) * float64(slot.Tau)
 		pr := inst
 		if p.avg[i] > 0 {
 			pr = inst / p.avg[i]
@@ -75,8 +74,7 @@ func (p *ProportionalFair) Allocate(slot *Slot, alloc []int) {
 		if remaining == 0 {
 			break
 		}
-		u := &slot.Users[c.idx]
-		a := u.MaxUnits
+		a := slot.MaxUnitsAt(c.idx)
 		if a > remaining {
 			a = remaining
 		}
@@ -88,7 +86,7 @@ func (p *ProportionalFair) Allocate(slot *Slot, alloc []int) {
 	// so their averages keep decaying toward zero, exactly as a base
 	// station's MAC would age out a silent bearer.
 	w := 1 / p.tc
-	for i := range slot.Users {
+	for i, n := 0, slot.NumUsers(); i < n; i++ {
 		served := float64(alloc[i]) * float64(slot.Unit)
 		p.avg[i] = (1-w)*p.avg[i] + w*served
 	}

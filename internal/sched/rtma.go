@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"jointstream/internal/radio"
 	"jointstream/internal/rrc"
@@ -27,7 +26,9 @@ import (
 // are sorted by p_i(n) ascending, each round every admitted user receives
 // up to its per-slot need ϕ_need = ⌈τ·p_i/δ⌉, and rounds repeat (buffering
 // ahead for future slots) until the capacity or every user's link bound is
-// exhausted.
+// exhausted. The sorted order persists across slots and is repaired
+// incrementally (see order.go): only users whose rate or admission actually
+// changed pay sort work, with a full re-sort past a churn threshold.
 type RTMA struct {
 	budget    units.MJ // Φ: per-user per-slot energy budget
 	threshold units.DBm
@@ -35,33 +36,26 @@ type RTMA struct {
 	// enough that even the weakest representable signal satisfies it.
 	admitAll bool
 
+	// order maintains the (rate, index)-sorted candidate list across slots.
+	order rtmaOrder
+
 	// scratch reused across slots to avoid per-slot allocation.
-	keys rtmaKeys // admitted users with a per-slot need, sorted by (rate, index)
-	zero []int    // admitted zero-need users, served from the spare-capacity drain
-	act  []int    // ActiveIndices fallback scratch
+	keys []rtmaKey // this slot's candidates, ascending user index
+	work []rtmaKey // water-filling window (mutated; the order stays intact)
+	zero []int     // admitted zero-need users, served from the spare-capacity drain
+	act  []int     // ActiveIndices fallback scratch
 }
 
 // rtmaKey precomputes one candidate's sort key and per-slot need so the
 // sort compares plain values (no closure, no double indirection into the
-// slot) and the water-filling rounds never recompute ϕ_need.
+// slot) and the water-filling rounds never recompute ϕ_need. The (rate,
+// index) key is a strict total order — index ties are impossible — so the
+// sorted candidate sequence is unique and any repair strategy that
+// reproduces the candidate set sorted by it is exactly the full sort.
 type rtmaKey struct {
 	rate units.KBps
 	idx  int32
 	need int32
-}
-
-// rtmaKeys sorts by (rate, index): rates tie-break on the ascending user
-// index, which reproduces exactly the order a stable sort by rate alone
-// produces from the index-ordered candidate scan.
-type rtmaKeys []rtmaKey
-
-func (k rtmaKeys) Len() int      { return len(k) }
-func (k rtmaKeys) Swap(a, b int) { k[a], k[b] = k[b], k[a] }
-func (k rtmaKeys) Less(a, b int) bool {
-	if k[a].rate != k[b].rate {
-		return k[a].rate < k[b].rate
-	}
-	return k[a].idx < k[b].idx
 }
 
 // RTMAConfig configures RTMA.
@@ -95,6 +89,7 @@ func NewRTMA(cfg RTMAConfig) (*RTMA, error) {
 		return nil, fmt.Errorf("rtma: signal bounds inverted [%v, %v]", lo, hi)
 	}
 	r := &RTMA{budget: cfg.Budget}
+	r.order.limit = -1 // auto churn threshold; see SetChurnLimit
 	r.threshold, r.admitAll = solveThreshold(cfg, lo, hi)
 	return r, nil
 }
@@ -158,24 +153,30 @@ func (r *RTMA) Threshold() units.DBm { return r.threshold }
 // Name implements Scheduler.
 func (*RTMA) Name() string { return "RTMA" }
 
+// SetChurnLimit overrides the incremental-order churn threshold: a slot
+// whose candidate set changes by more than limit entries (removals plus
+// insertions) re-sorts from scratch instead of repairing. limit = 0 forces
+// a full sort on any churn (the reference arm of the differential and fuzz
+// tests); a negative limit restores the default max(8, candidates/8).
+func (r *RTMA) SetChurnLimit(limit int) { r.order.limit = limit }
+
 // Allocate implements Scheduler following Alg. 1.
 func (r *RTMA) Allocate(slot *Slot, alloc []int) {
-	users := slot.Users
-	// Step 2: candidates sorted by required data rate ascending. Keys and
-	// needs are precomputed once per slot because rates and activity
-	// change between slots but not within one.
+	// Step 2: candidates by required data rate ascending. Keys and needs
+	// are collected in user-index order once per slot; the persistent
+	// sorted order is then repaired against them (order.go) so slots with
+	// little rate/admission churn skip the full sort entirely.
 	r.keys = r.keys[:0]
 	r.zero = r.zero[:0]
 	for _, i := range slot.ActiveIndices(&r.act) {
-		u := &users[i]
-		if u.MaxUnits == 0 {
+		if slot.MaxUnitsAt(i) == 0 {
 			continue
 		}
 		// Step 6: admission by signal-strength limitation φ.
-		if !r.admitAll && u.Sig < r.threshold {
+		if !r.admitAll && slot.SigAt(i) < r.threshold {
 			continue
 		}
-		need := u.NeedUnits(slot.Tau, slot.Unit)
+		need := slot.NeedUnitsAt(i)
 		if need == 0 {
 			// A zero-rate user has no per-slot playback need; it only
 			// soaks up capacity the needy users leave behind (the drain
@@ -184,17 +185,20 @@ func (r *RTMA) Allocate(slot *Slot, alloc []int) {
 			r.zero = append(r.zero, i)
 			continue
 		}
-		r.keys = append(r.keys, rtmaKey{rate: u.Rate, idx: int32(i), need: int32(need)})
+		r.keys = append(r.keys, rtmaKey{rate: slot.RateAt(i), idx: int32(i), need: int32(need)})
 	}
-	sort.Sort(r.keys)
+	sorted := r.order.update(r.keys)
 
 	remaining := slot.CapacityUnits
 	// Steps 4–15: rounds of need-sized increments until the capacity or
 	// all per-user link bounds are exhausted. Saturated users are
 	// compacted out of the live window so late rounds touch only users
 	// that can still grow; every live user receives ≥ 1 unit per round,
-	// so the rounds always terminate.
-	live := r.keys
+	// so the rounds always terminate. The compaction mutates the window,
+	// so it runs on a scratch copy — the persistent sorted order must
+	// survive intact for the next slot's incremental repair.
+	r.work = append(r.work[:0], sorted...)
+	live := r.work
 	for remaining > 0 && len(live) > 0 {
 		w := 0
 		for _, k := range live {
@@ -202,9 +206,9 @@ func (r *RTMA) Allocate(slot *Slot, alloc []int) {
 				break
 			}
 			i := int(k.idx)
-			u := &users[i]
+			max := slot.MaxUnitsAt(i)
 			// ϕ_sup: what the link and base station still support (step 7).
-			sup := u.MaxUnits - alloc[i]
+			sup := max - alloc[i]
 			if sup > remaining {
 				sup = remaining
 			}
@@ -217,7 +221,7 @@ func (r *RTMA) Allocate(slot *Slot, alloc []int) {
 			}
 			alloc[i] += grant
 			remaining -= grant
-			if alloc[i] < u.MaxUnits {
+			if alloc[i] < max {
 				live[w] = k
 				w++
 			}
@@ -230,7 +234,7 @@ func (r *RTMA) Allocate(slot *Slot, alloc []int) {
 		if remaining == 0 {
 			break
 		}
-		grant := users[i].MaxUnits
+		grant := slot.MaxUnitsAt(i)
 		if grant > remaining {
 			grant = remaining
 		}

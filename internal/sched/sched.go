@@ -73,6 +73,36 @@ func (u *User) NeedUnits(tau units.Seconds, unit units.KB) int {
 	return need
 }
 
+// Columns is the struct-of-arrays form of the per-user views: one column
+// slice per User field, all indexed by the user index. The simulator's
+// engine presents slots this way so the prepare phase refreshes a few
+// contiguous arrays in place instead of materializing one 88-byte User
+// struct per user per slot; the static physics columns (Sig, LinkRate,
+// EnergyPerKB, Rate) alias the precompiled cell.LinkTable rows for the
+// slot directly — zero-copy reslices, never copies.
+//
+// Aliasing rules (see DESIGN.md §7): columns are written only by the
+// engine's prepare/commit phases, never by schedulers, and the LinkTable-
+// backed columns are immutable shared state — the engine swaps the slice
+// headers each slot rather than writing through them. Schedulers read the
+// columns through the Slot accessors (ActiveAt, RateAt, ...), which fall
+// back to the Users array when Cols is nil, so hand-built array-of-structs
+// slots and the engine's SoA slots exercise identical scheduler code.
+type Columns struct {
+	Active      []bool
+	Sig         []units.DBm
+	LinkRate    []units.KBps
+	EnergyPerKB []units.MJ
+	Rate        []units.KBps
+	BufferSec   []units.Seconds
+	RemainingKB []units.KB
+	TailGap     []units.Seconds
+	NeverActive []bool
+	// MaxUnits is stored as int32 (like the link table's unit limits) to
+	// halve the per-slot write bandwidth of the hottest dynamic column.
+	MaxUnits []int32
+}
+
 // Slot is the full scheduling problem for one time slot.
 type Slot struct {
 	// N is the slot index.
@@ -84,8 +114,14 @@ type Slot struct {
 	// CapacityUnits is ⌊τ·S(n)/δ⌋, the total units the base station can
 	// move this slot (Eq. 2).
 	CapacityUnits int
-	// Users holds one view per session, indexed by User.Index.
+	// Users holds one view per session, indexed by User.Index. It may be
+	// nil when Cols carries the views instead; use the accessors (or
+	// NumUsers) rather than touching either representation directly.
 	Users []User
+	// Cols, when non-nil, is the struct-of-arrays form of the user views
+	// and takes precedence over Users. All column slices must have equal
+	// length; the engine guarantees it.
+	Cols *Columns
 	// ActiveList, when non-nil, holds the indices of the active users in
 	// ascending order. The simulator's engine maintains it so schedulers
 	// iterate only the users that want data instead of scanning all of
@@ -93,6 +129,116 @@ type Slot struct {
 	// fall back to the scan (see ActiveIndices). An empty non-nil list
 	// means no user is active.
 	ActiveList []int
+}
+
+// NumUsers returns the number of per-user views in the slot, whichever
+// representation carries them.
+func (s *Slot) NumUsers() int {
+	if s.Cols != nil {
+		return len(s.Cols.MaxUnits)
+	}
+	return len(s.Users)
+}
+
+// IndexAt returns user i's session index. The SoA view is always stored
+// in session order, so the position is the index; hand-built AoS slots
+// (e.g. permuted test slots) may carry an arbitrary Index per view.
+func (s *Slot) IndexAt(i int) int {
+	if s.Cols != nil {
+		return i
+	}
+	return s.Users[i].Index
+}
+
+// ActiveAt reports whether user i wants data this slot.
+func (s *Slot) ActiveAt(i int) bool {
+	if c := s.Cols; c != nil {
+		return c.Active[i]
+	}
+	return s.Users[i].Active
+}
+
+// SigAt returns user i's signal strength this slot.
+func (s *Slot) SigAt(i int) units.DBm {
+	if c := s.Cols; c != nil {
+		return c.Sig[i]
+	}
+	return s.Users[i].Sig
+}
+
+// LinkRateAt returns v(sig_i(n)), user i's achievable throughput.
+func (s *Slot) LinkRateAt(i int) units.KBps {
+	if c := s.Cols; c != nil {
+		return c.LinkRate[i]
+	}
+	return s.Users[i].LinkRate
+}
+
+// EnergyPerKBAt returns P(sig_i(n)), user i's per-kilobyte reception cost.
+func (s *Slot) EnergyPerKBAt(i int) units.MJ {
+	if c := s.Cols; c != nil {
+		return c.EnergyPerKB[i]
+	}
+	return s.Users[i].EnergyPerKB
+}
+
+// RateAt returns p_i(n), user i's required video data rate.
+func (s *Slot) RateAt(i int) units.KBps {
+	if c := s.Cols; c != nil {
+		return c.Rate[i]
+	}
+	return s.Users[i].Rate
+}
+
+// BufferSecAt returns r_i(n), user i's buffered playback seconds.
+func (s *Slot) BufferSecAt(i int) units.Seconds {
+	if c := s.Cols; c != nil {
+		return c.BufferSec[i]
+	}
+	return s.Users[i].BufferSec
+}
+
+// RemainingKBAt returns the undelivered remainder of user i's video.
+func (s *Slot) RemainingKBAt(i int) units.KB {
+	if c := s.Cols; c != nil {
+		return c.RemainingKB[i]
+	}
+	return s.Users[i].RemainingKB
+}
+
+// TailGapAt returns the time since user i's radio last transferred.
+func (s *Slot) TailGapAt(i int) units.Seconds {
+	if c := s.Cols; c != nil {
+		return c.TailGap[i]
+	}
+	return s.Users[i].TailGap
+}
+
+// NeverActiveAt reports that user i's radio has not transferred yet.
+func (s *Slot) NeverActiveAt(i int) bool {
+	if c := s.Cols; c != nil {
+		return c.NeverActive[i]
+	}
+	return s.Users[i].NeverActive
+}
+
+// MaxUnitsAt returns user i's binding per-slot unit limit
+// min(⌊τ·v/δ⌋, ⌈remaining/δ⌉), zero when inactive.
+func (s *Slot) MaxUnitsAt(i int) int {
+	if c := s.Cols; c != nil {
+		return int(c.MaxUnits[i])
+	}
+	return s.Users[i].MaxUnits
+}
+
+// NeedUnitsAt returns ϕ_need(i) = ⌈τ·p_i(n)/δ⌉ capped at MaxUnitsAt(i),
+// the slot-level form of User.NeedUnits.
+func (s *Slot) NeedUnitsAt(i int) int {
+	need := ceilDiv(float64(s.RateAt(i))*float64(s.Tau), float64(s.Unit))
+	if m := s.MaxUnitsAt(i); need > m {
+		return m
+	}
+	return need
 }
 
 // ActiveIndices returns the indices of the active users in ascending
@@ -108,8 +254,8 @@ func (s *Slot) ActiveIndices(scratch *[]int) []int {
 	if scratch != nil {
 		buf = (*scratch)[:0]
 	}
-	for i := range s.Users {
-		if s.Users[i].Active {
+	for i, n := 0, s.NumUsers(); i < n; i++ {
+		if s.ActiveAt(i) {
 			buf = append(buf, i)
 		}
 	}
@@ -160,20 +306,20 @@ func floorDiv(a, b float64) int {
 // the inactivity rule. The simulator uses it in strict mode; tests use it
 // to prove schedulers respect the constraints without clamping.
 func (s *Slot) Validate(alloc []int) error {
-	if len(alloc) != len(s.Users) {
-		return fmt.Errorf("sched: allocation length %d != %d users", len(alloc), len(s.Users))
+	n := s.NumUsers()
+	if len(alloc) != n {
+		return fmt.Errorf("sched: allocation length %d != %d users", len(alloc), n)
 	}
 	total := 0
 	for i, a := range alloc {
-		u := &s.Users[i]
 		if a < 0 {
 			return fmt.Errorf("sched: user %d negative allocation %d", i, a)
 		}
-		if !u.Active && a > 0 {
+		if !s.ActiveAt(i) && a > 0 {
 			return fmt.Errorf("sched: user %d inactive but allocated %d units", i, a)
 		}
-		if a > u.MaxUnits {
-			return fmt.Errorf("sched: user %d allocation %d exceeds per-user limit %d", i, a, u.MaxUnits)
+		if m := s.MaxUnitsAt(i); a > m {
+			return fmt.Errorf("sched: user %d allocation %d exceeds per-user limit %d", i, a, m)
 		}
 		total += a
 	}
@@ -185,8 +331,8 @@ func (s *Slot) Validate(alloc []int) error {
 		// exactly, in ascending order — a stale entry would let a
 		// scheduler serve (or skip) the wrong user.
 		j := 0
-		for i := range s.Users {
-			if !s.Users[i].Active {
+		for i := 0; i < n; i++ {
+			if !s.ActiveAt(i) {
 				continue
 			}
 			if j >= len(s.ActiveList) || s.ActiveList[j] != i {

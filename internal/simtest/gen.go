@@ -87,6 +87,47 @@ func PermuteSlot(slot *sched.Slot, perm []int) (*sched.Slot, error) {
 	return out, nil
 }
 
+// SoACopy returns the column-view (struct-of-arrays) presentation of an
+// AoS slot: the same scheduling problem with every user field copied into
+// a fresh sched.Columns and Users detached, so the accessors route
+// through the SoA path exactly as the production engine's zero-copy view
+// does. The input slot must be in session order (Index == position),
+// which both RandomSlot and PermuteSlot guarantee. The returned columns
+// are owned by the caller — mutating them between Allocate calls models
+// the engine refreshing its dynamic columns in place.
+func SoACopy(slot *sched.Slot) *sched.Slot {
+	n := len(slot.Users)
+	cols := &sched.Columns{
+		Active:      make([]bool, n),
+		Sig:         make([]units.DBm, n),
+		LinkRate:    make([]units.KBps, n),
+		EnergyPerKB: make([]units.MJ, n),
+		Rate:        make([]units.KBps, n),
+		BufferSec:   make([]units.Seconds, n),
+		RemainingKB: make([]units.KB, n),
+		TailGap:     make([]units.Seconds, n),
+		NeverActive: make([]bool, n),
+		MaxUnits:    make([]int32, n),
+	}
+	for i := range slot.Users {
+		u := &slot.Users[i]
+		cols.Active[i] = u.Active
+		cols.Sig[i] = u.Sig
+		cols.LinkRate[i] = u.LinkRate
+		cols.EnergyPerKB[i] = u.EnergyPerKB
+		cols.Rate[i] = u.Rate
+		cols.BufferSec[i] = u.BufferSec
+		cols.RemainingKB[i] = u.RemainingKB
+		cols.TailGap[i] = u.TailGap
+		cols.NeverActive[i] = u.NeverActive
+		cols.MaxUnits[i] = int32(u.MaxUnits)
+	}
+	out := *slot
+	out.Users = nil
+	out.Cols = cols
+	return &out
+}
+
 // TotalUnits sums an allocation.
 func TotalUnits(alloc []int) int {
 	total := 0

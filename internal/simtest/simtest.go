@@ -35,19 +35,18 @@ import (
 // Eq. (1)/(2) plus the inactivity rule, independently of
 // sched.Slot.Validate.
 func CheckAllocation(slot *sched.Slot, alloc []int) error {
-	if len(alloc) != len(slot.Users) {
-		return fmt.Errorf("simtest: allocation length %d != %d users", len(alloc), len(slot.Users))
+	if len(alloc) != slot.NumUsers() {
+		return fmt.Errorf("simtest: allocation length %d != %d users", len(alloc), slot.NumUsers())
 	}
 	total := 0
 	for i, a := range alloc {
-		u := &slot.Users[i]
 		switch {
 		case a < 0:
 			return fmt.Errorf("simtest: user %d allocated %d < 0", i, a)
-		case !u.Active && a != 0:
+		case !slot.ActiveAt(i) && a != 0:
 			return fmt.Errorf("simtest: inactive user %d allocated %d units", i, a)
-		case a > u.MaxUnits:
-			return fmt.Errorf("simtest: user %d allocated %d > link bound %d", i, a, u.MaxUnits)
+		case a > slot.MaxUnitsAt(i):
+			return fmt.Errorf("simtest: user %d allocated %d > link bound %d", i, a, slot.MaxUnitsAt(i))
 		}
 		total += a
 	}
@@ -60,9 +59,9 @@ func CheckAllocation(slot *sched.Slot, alloc []int) error {
 // QueueSnapshot captures EMA's virtual queues for the users of a slot,
 // for a later CheckEq16 against the post-Allocate state.
 func QueueSnapshot(e *sched.EMA, slot *sched.Slot) []units.Seconds {
-	qs := make([]units.Seconds, len(slot.Users))
-	for i := range slot.Users {
-		qs[i] = e.Queue(slot.Users[i].Index)
+	qs := make([]units.Seconds, slot.NumUsers())
+	for i := range qs {
+		qs[i] = e.Queue(slot.IndexAt(i))
 	}
 	return qs
 }
@@ -75,23 +74,23 @@ func QueueSnapshot(e *sched.EMA, slot *sched.Slot) []units.Seconds {
 // and inactive users' queues stay frozen. before must be a QueueSnapshot
 // taken immediately before the Allocate that produced alloc.
 func CheckEq16(e *sched.EMA, before []units.Seconds, slot *sched.Slot, alloc []int) error {
-	if len(before) != len(slot.Users) {
-		return fmt.Errorf("simtest: snapshot length %d != %d users", len(before), len(slot.Users))
+	if len(before) != slot.NumUsers() {
+		return fmt.Errorf("simtest: snapshot length %d != %d users", len(before), slot.NumUsers())
 	}
-	for i := range slot.Users {
-		u := &slot.Users[i]
+	for i := 0; i < slot.NumUsers(); i++ {
+		active := slot.ActiveAt(i)
 		want := float64(before[i])
-		if u.Active {
+		if active {
 			t := 0.0
 			if alloc[i] > 0 {
-				t = float64(alloc[i]) * float64(slot.Unit) / float64(u.Rate)
+				t = float64(alloc[i]) * float64(slot.Unit) / float64(slot.RateAt(i))
 			}
 			want += float64(slot.Tau) - t
 		}
-		got := float64(e.Queue(u.Index))
+		got := float64(e.Queue(slot.IndexAt(i)))
 		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
 			return fmt.Errorf("simtest: user %d queue %v after slot, want %v (Eq. 16, alloc=%d, active=%v)",
-				i, got, want, alloc[i], u.Active)
+				i, got, want, alloc[i], active)
 		}
 	}
 	return nil
@@ -105,16 +104,15 @@ func CheckEq16(e *sched.EMA, before []units.Seconds, slot *sched.Slot, alloc []i
 // state.
 func EMAObjective(e *sched.EMA, slot *sched.Slot, alloc []int) float64 {
 	var sum float64
-	for i := range slot.Users {
-		u := &slot.Users[i]
+	for i := 0; i < slot.NumUsers(); i++ {
 		var energy, t float64
 		if alloc[i] > 0 {
-			energy = float64(u.EnergyPerKB) * float64(alloc[i]) * float64(slot.Unit)
-			t = float64(alloc[i]) * float64(slot.Unit) / float64(u.Rate)
-		} else if !u.NeverActive {
-			energy = float64(e.RRC().TailIncrement(u.TailGap, slot.Tau))
+			energy = float64(slot.EnergyPerKBAt(i)) * float64(alloc[i]) * float64(slot.Unit)
+			t = float64(alloc[i]) * float64(slot.Unit) / float64(slot.RateAt(i))
+		} else if !slot.NeverActiveAt(i) {
+			energy = float64(e.RRC().TailIncrement(slot.TailGapAt(i), slot.Tau))
 		}
-		sum += e.V()*energy + float64(e.Queue(u.Index))*(float64(slot.Tau)-t)
+		sum += e.V()*energy + float64(e.Queue(slot.IndexAt(i)))*(float64(slot.Tau)-t)
 	}
 	return sum
 }

@@ -1,0 +1,279 @@
+package simtest
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/radio"
+	"jointstream/internal/rng"
+	"jointstream/internal/rrc"
+	"jointstream/internal/sched"
+	"jointstream/internal/signal"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// traceModels is the channel-model axis of the engine matrix: the paper's
+// noisy sine plus the two stochastic generators, so the SoA engine is
+// pinned against qualitatively different link dynamics (smooth periodic,
+// diffusive, and bursty two-state).
+var traceModels = []string{"sine+wgn", "randomwalk", "gilbert-elliott"}
+
+// traceSessions builds a small deterministic workload whose channels come
+// from the named generator. Sessions carry rate jitter (odd users) and a
+// mild start stagger so the admission path fires; calling it twice with
+// the same arguments yields identical workloads, which is what lets the
+// differential harness build the two engine arms independently.
+func traceSessions(t testing.TB, model string, users int) []*workload.Session {
+	t.Helper()
+	src := rng.New(uint64(31 + len(model)))
+	mkTrace := func(i int) (signal.Trace, error) {
+		switch model {
+		case "sine+wgn":
+			return signal.NewSine(signal.SineConfig{
+				Bounds:      signal.DefaultBounds,
+				PeriodSlots: 120,
+				Phase:       float64(i),
+				NoiseStdDBm: 10,
+			}, src)
+		case "randomwalk":
+			return signal.NewRandomWalk(signal.RandomWalkConfig{
+				Bounds:  signal.DefaultBounds,
+				Start:   units.DBm(-80 - i),
+				StepStd: 2.5,
+			}, src)
+		case "gilbert-elliott":
+			return signal.NewGilbertElliott(signal.GilbertElliottConfig{
+				Bounds: signal.DefaultBounds,
+				Good:   -60, Bad: -100,
+				PGoodToBad: 0.05, PBadToGood: 0.1,
+				JitterStd: 3,
+			}, src)
+		}
+		return nil, fmt.Errorf("unknown trace model %q", model)
+	}
+	sessions := make([]*workload.Session, users)
+	for i := range sessions {
+		tr, err := mkTrace(i)
+		if err != nil {
+			t.Fatalf("%s trace %d: %v", model, i, err)
+		}
+		sessions[i] = &workload.Session{
+			ID:        i,
+			Size:      units.KB(2000 + 600*i),
+			BaseRate:  units.KBps(250 + 50*i),
+			StartSlot: 2 * i,
+			Signal:    tr,
+		}
+		if i%2 == 1 {
+			sessions[i].RateJitter = 30
+		}
+	}
+	return sessions
+}
+
+// TestEngineMatrixSoAvsReference is the full acceptance matrix of the
+// zero-copy column view: every scheduler in the repo × every trace model
+// × worker counts {1, 4, max}, production SoA engine (Run) against the
+// AoS full-scan reference arm (RunReference), byte-identical Results.
+// The workloads fit in a single shard, so equality is exact by
+// construction — any deviation is a column-aliasing or ownership bug.
+func TestEngineMatrixSoAvsReference(t *testing.T) {
+	for name, mk := range factories(t) {
+		for _, model := range traceModels {
+			for _, workers := range []int{1, 4, 0} {
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", name, model, workers), func(t *testing.T) {
+					build := func() (*cell.Simulator, error) {
+						cfg := engineCfg()
+						cfg.Workers = workers
+						return cell.New(cfg, traceSessions(t, model, 6), mk())
+					}
+					if err := CheckEngineEquivalence(true, build); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSchedulerSoAEquivalence is the scheduler-level differential: the
+// same random slot presented as AoS (Users) and as SoA (Cols) must yield
+// identical allocations from fresh instances of every scheduler. This
+// pins the accessor routing itself, independently of the engine.
+func TestSchedulerSoAEquivalence(t *testing.T) {
+	for name, mk := range factories(t) {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64) bool {
+				src := rng.New(seed)
+				n := 1 + src.Intn(14)
+				aos := RandomSlot(src, n, src.Intn(260))
+				soa := SoACopy(aos)
+				a1 := make([]int, n)
+				mk().Allocate(aos, a1)
+				a2 := make([]int, n)
+				mk().Allocate(soa, a2)
+				if !slices.Equal(a1, a2) {
+					t.Logf("seed %d: AoS alloc %v != SoA alloc %v", seed, a1, a2)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, quickCfg(60)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestColumnMutationObserved is the aliasing property: the SoA view is
+// zero-copy, so a write through a column slice between two Allocate calls
+// of the same scheduler instance must be observed by the second call —
+// exactly as the engine refreshes dynamic columns in place each slot. A
+// parallel AoS instance walks the same two-slot trajectory with the same
+// mutation applied to its Users, so the test both proves the mutation is
+// seen (the deactivated user gets nothing) and that it is seen as the
+// equivalent AoS problem (no stale snapshot, no partial refresh).
+func TestColumnMutationObserved(t *testing.T) {
+	for name, mk := range factories(t) {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64) bool {
+				src := rng.New(seed)
+				n := 2 + src.Intn(12)
+				cap := src.Intn(200)
+				aos := RandomSlot(src, n, cap)
+				soa := SoACopy(aos)
+				soaSched, aosSched := mk(), mk()
+
+				a1 := make([]int, n)
+				soaSched.Allocate(soa, a1)
+				warm := make([]int, n)
+				aosSched.Allocate(aos, warm)
+
+				// Mutate through the column slices: deactivate one user,
+				// zero another's link bound, move a third's rate.
+				i := src.Intn(n)
+				j := (i + 1) % n
+				k := (i + 2) % n
+				soa.Cols.Active[i] = false
+				soa.Cols.MaxUnits[j] = 0
+				newRate := units.KBps(src.Uniform(100, 700))
+				soa.Cols.Rate[k] = newRate
+				aos.Users[i].Active = false
+				aos.Users[j].MaxUnits = 0
+				aos.Users[k].Rate = newRate
+
+				a2 := make([]int, n)
+				soaSched.Allocate(soa, a2)
+				if a2[i] != 0 {
+					t.Logf("seed %d: deactivation of user %d not observed (alloc %d)", seed, i, a2[i])
+					return false
+				}
+				if a2[j] != 0 {
+					t.Logf("seed %d: zeroed link bound of user %d not observed (alloc %d)", seed, j, a2[j])
+					return false
+				}
+				ref := make([]int, n)
+				aosSched.Allocate(aos, ref)
+				if !slices.Equal(a2, ref) {
+					t.Logf("seed %d: post-mutation SoA alloc %v != AoS alloc %v", seed, a2, ref)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, quickCfg(40)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// newChurnRTMA builds an RTMA with the given incremental-order churn
+// limit (0 = full sort on any churn, the reference arm; negative = the
+// default threshold).
+func newChurnRTMA(t testing.TB, limit int) *sched.RTMA {
+	t.Helper()
+	r, err := sched.NewRTMA(sched.RTMAConfig{
+		Budget: 500, Radio: radio.Paper3G(), RRC: rrc.Paper3G(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetChurnLimit(limit)
+	return r
+}
+
+// mutateChurn rewrites `churn` users' rate/admission fields in both
+// column views identically, modelling the engine refreshing dynamic
+// columns between slots. Rate changes invalidate the (rate, idx) sort
+// key; Active flips add/remove candidates — together they drive the
+// incremental order's repair-vs-resort decision.
+func mutateChurn(src *rng.Source, a, b *sched.Columns, n, churn int) {
+	for c := 0; c < churn; c++ {
+		i := src.Intn(n)
+		switch src.Intn(3) {
+		case 0:
+			r := units.KBps(src.Uniform(100, 700))
+			a.Rate[i], b.Rate[i] = r, r
+		case 1:
+			act := src.Bool(0.8)
+			a.Active[i], b.Active[i] = act, act
+		default:
+			m := int32(src.Intn(40))
+			a.MaxUnits[i], b.MaxUnits[i] = m, m
+			rem := units.KB(float64(m)*100 + src.Uniform(0, 1e6))
+			a.RemainingKB[i], b.RemainingKB[i] = rem, rem
+		}
+	}
+}
+
+// FuzzRTMAChurn fuzzes the incremental smallest-rate-first order across
+// the churn-threshold boundary: an RTMA with an arbitrary churn limit
+// must allocate identically to the full-sort arm (limit 0) on every slot
+// of a mutating sequence, because the (rate, idx) key is a strict total
+// order and the repaired sequence is therefore unique. The seeds bracket
+// the default threshold max(8, candidates/8) on both sides.
+//
+// Run the smoke mode locally with:
+//
+//	go test -fuzz=FuzzRTMAChurn -fuzztime=30s ./internal/simtest
+func FuzzRTMAChurn(f *testing.F) {
+	f.Add(uint64(1), int8(0), uint8(8))
+	f.Add(uint64(2), int8(1), uint8(12))
+	f.Add(uint64(3), int8(7), uint8(12))
+	f.Add(uint64(4), int8(8), uint8(12))
+	f.Add(uint64(5), int8(9), uint8(12))
+	f.Add(uint64(6), int8(-1), uint8(16))
+	f.Add(uint64(7), int8(127), uint8(20))
+
+	f.Fuzz(func(t *testing.T, seed uint64, limit int8, nSlots uint8) {
+		src := rng.New(seed)
+		n := 4 + src.Intn(24)
+		slots := 1 + int(nSlots)%24
+		inc := newChurnRTMA(t, int(limit))
+		ref := newChurnRTMA(t, 0)
+
+		base := RandomSlot(src, n, src.Intn(220))
+		slotA := SoACopy(base)
+		slotB := SoACopy(base)
+		a1 := make([]int, n)
+		a2 := make([]int, n)
+		for s := 0; s < slots; s++ {
+			slotA.N, slotB.N = s, s
+			inc.Allocate(slotA, a1)
+			ref.Allocate(slotB, a2)
+			if !slices.Equal(a1, a2) {
+				t.Fatalf("slot %d (limit %d): incremental alloc %v != full-sort alloc %v", s, limit, a1, a2)
+			}
+			if err := CheckAllocation(slotA, a1); err != nil {
+				t.Fatalf("slot %d: %v", s, err)
+			}
+			// Churn spans [0, n]: below, at, and above the default
+			// threshold max(8, candidates/8).
+			mutateChurn(src, slotA.Cols, slotB.Cols, n, src.Intn(n+1))
+		}
+	})
+}
