@@ -46,7 +46,7 @@ func realMain() int {
 		quick      = flag.Bool("quick", false, "use the miniature CI workload")
 		claimsOnly = flag.Bool("claims", false, "print only the headline-claims table")
 		seed       = flag.Uint64("seed", 0, "override workload seed (0 keeps the default)")
-		ext        = flag.String("ext", "", "extension experiment: lte|vbr|arrivals|dormancy|oracle|abr|adaptive|seeds")
+		ext        = flag.String("ext", "", "extension experiment: lte|vbr|arrivals|dormancy|oracle|abr|adaptive|predictive|seeds")
 		seeds      = flag.Int("seeds", 3, "seed count for -ext seeds")
 		jsonOut    = flag.String("json", "", "also export the regenerated figures as JSON to this file")
 		parallel   = flag.Bool("parallel", false, "regenerate all figures concurrently on all CPUs")
@@ -177,6 +177,8 @@ func runExt(name string, quick bool, seed uint64, seeds int) error {
 		return renderOne(r.ExtABR)
 	case "adaptive":
 		return renderOne(r.ExtAdaptive)
+	case "predictive":
+		return renderOne(r.ExtPredictive)
 	case "seeds":
 		stats, err := r.ExtMultiSeed(seeds)
 		if err != nil {

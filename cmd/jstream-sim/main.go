@@ -8,11 +8,15 @@
 //	jstream-sim -sched onoff -users 30 -seed 7 -verbose
 //
 // Schedulers: default, rtma, ema, throttling, onoff, salsa, estreamer,
-// propfair. RTMA derives its energy budget Φ from a Default reference run
-// scaled by -alpha; EMA calibrates its Lyapunov weight V against -beta
-// times the Default rebuffering unless -v is given (-adaptive switches to
-// the online controller). -spec replays explicit sessions from a JSON
-// workload file.
+// propfair, predictive. RTMA derives its energy budget Φ from a Default
+// reference run scaled by -alpha; EMA calibrates its Lyapunov weight V
+// against -beta times the Default rebuffering unless -v is given
+// (-adaptive switches to the online controller). The predictive
+// scheduler compiles the run's link table up front and reads a
+// -lookahead-slot forecast window from it, corrupted by -forecast-err
+// relative noise (0 = omniscient table reads, ≥1 = no information,
+// degenerating to the Default baseline). -spec replays explicit
+// sessions from a JSON workload file.
 package main
 
 import (
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	var (
-		schedName = flag.String("sched", "rtma", "scheduler: default|rtma|ema|throttling|onoff|salsa|estreamer|propfair")
+		schedName = flag.String("sched", "rtma", "scheduler: default|rtma|ema|throttling|onoff|salsa|estreamer|propfair|predictive")
 		users     = flag.Int("users", 20, "number of streaming users")
 		avgSizeMB = flag.Float64("size", 375, "average video size in MB")
 		alpha     = flag.Float64("alpha", 1.0, "RTMA energy budget factor (x Default energy)")
@@ -42,15 +46,17 @@ func main() {
 		slots     = flag.Int("slots", 10000, "maximum slots")
 		verbose   = flag.Bool("verbose", false, "print per-user breakdown")
 		specPath  = flag.String("spec", "", "load explicit sessions from a JSON workload spec instead of generating them")
+		lookahead = flag.Int("lookahead", 8, "predictive forecast window K in slots (predictive only)")
+		fcErr     = flag.Float64("forecast-err", 0, "predictive forecast relative error level (predictive only)")
 	)
 	flag.Parse()
-	if err := run(*schedName, *users, *avgSizeMB, *alpha, *beta, *vFlag, *adaptive, *seed, *capacity, *slots, *verbose, *specPath); err != nil {
+	if err := run(*schedName, *users, *avgSizeMB, *alpha, *beta, *vFlag, *adaptive, *seed, *capacity, *slots, *verbose, *specPath, *lookahead, *fcErr); err != nil {
 		fmt.Fprintln(os.Stderr, "jstream-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schedName string, users int, avgSizeMB, alpha, beta, vFlag float64, adaptive bool, seed uint64, capacity float64, slots int, verbose bool, specPath string) error {
+func run(schedName string, users int, avgSizeMB, alpha, beta, vFlag float64, adaptive bool, seed uint64, capacity float64, slots int, verbose bool, specPath string, lookahead int, fcErr float64) error {
 	cfg := cell.PaperConfig()
 	cfg.Capacity = units.KBps(capacity)
 	cfg.MaxSlots = slots
@@ -78,11 +84,8 @@ func run(schedName string, users int, avgSizeMB, alpha, beta, vFlag float64, ada
 		}
 	}
 
-	s, err := buildScheduler(schedName, cfg, vFlag)
-	if err != nil {
-		return err
-	}
 	var sessions []*workload.Session
+	var err error
 	if specPath != "" {
 		f, err := os.Open(specPath)
 		if err != nil {
@@ -99,6 +102,36 @@ func run(schedName string, users int, avgSizeMB, alpha, beta, vFlag float64, ada
 		}
 	} else {
 		sessions, err = workload.Generate(wl, rng.New(seed))
+		if err != nil {
+			return err
+		}
+	}
+	var s sched.Scheduler
+	if schedName == "predictive" {
+		// The forecast reads the run's own compiled link table, which is
+		// also handed to the engine so the tick path replays the exact
+		// columns the prediction was drawn from.
+		lt, err := cell.CompileLink(cfg, sessions)
+		if err != nil {
+			return err
+		}
+		cfg.Link = lt
+		var fc sched.Forecast
+		if fcErr == 0 {
+			fc = lt.Forecast()
+		} else {
+			nf, err := cell.NewNoisyForecast(lt, seed, fcErr)
+			if err != nil {
+				return err
+			}
+			fc = nf
+		}
+		s, err = sched.NewPredictive(sched.PredictiveConfig{Lookahead: lookahead, Forecast: fc})
+		if err != nil {
+			return err
+		}
+	} else {
+		s, err = buildScheduler(schedName, cfg, vFlag)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,159 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+)
+
+// This file adapts the compiled LinkTable into the sched.Forecast the
+// Predictive scheduler consumes. The exact view replays the table's
+// slot-major windows as zero-copy column reslices — the same memory the
+// engine's prepare phase aliases into sched.Columns, so prediction and
+// physics can never disagree at zero error. NoisyForecast layers a
+// seeded multiplicative error model on top, turning prediction quality
+// into a sweepable scenario axis while keeping every read a pure
+// function of (seed, slot, user).
+
+// SlotEnergyPerKB returns slot n's per-user energy-price column as a
+// zero-copy reslice of the table. Shared immutable state: callers must
+// never write through it.
+func (t *LinkTable) SlotEnergyPerKB(n int) []units.MJ {
+	lo, hi := n*t.users, (n+1)*t.users
+	return t.epkb[lo:hi:hi]
+}
+
+// SlotLinkUnits returns slot n's per-user Eq. (1) unit-limit column as
+// a zero-copy reslice of the table. Shared immutable state: callers
+// must never write through it.
+func (t *LinkTable) SlotLinkUnits(n int) []int32 {
+	lo, hi := n*t.users, (n+1)*t.users
+	return t.linkUnits[lo:hi:hi]
+}
+
+// MaxLinkUnits returns the largest Eq. (1) per-user unit limit anywhere
+// in the table — the cap no honest or corrupted prediction of this
+// table may exceed.
+func (t *LinkTable) MaxLinkUnits() int {
+	var m int32
+	for _, lu := range t.linkUnits {
+		if lu > m {
+			m = lu
+		}
+	}
+	return int(m)
+}
+
+// tableForecast is the exact future-channel view: predictions are the
+// compiled columns themselves.
+type tableForecast struct{ t *LinkTable }
+
+// Forecast returns the table's exact sched.Forecast view. It also
+// implements sched.SlotWindower, so the Predictive scheduler's window
+// prefetch re-aliases the columns without copies.
+func (t *LinkTable) Forecast() sched.Forecast { return tableForecast{t} }
+
+// HorizonSlots implements sched.Forecast.
+func (f tableForecast) HorizonSlots() int { return f.t.slots }
+
+// PredictedEnergyPerKB implements sched.Forecast.
+func (f tableForecast) PredictedEnergyPerKB(n, i int) units.MJ {
+	return f.t.epkb[n*f.t.users+i]
+}
+
+// PredictedLinkUnits implements sched.Forecast.
+func (f tableForecast) PredictedLinkUnits(n, i int) int {
+	return int(f.t.linkUnits[n*f.t.users+i])
+}
+
+// PredictedWindow implements sched.SlotWindower.
+func (f tableForecast) PredictedWindow(n int) ([]units.MJ, []int32) {
+	return f.t.SlotEnergyPerKB(n), f.t.SlotLinkUnits(n)
+}
+
+// NoisyForecast corrupts a link table's predictions with seeded
+// multiplicative noise of relative level errFrac: each (slot, user)
+// coordinate draws an independent factor uniform in [1−errFrac,
+// 1+errFrac] for the price and another for the link limit. Draws are
+// pure functions of (seed, slot, user) via rng.Hash3 — no generator
+// state — so reads are deterministic, order-independent and identical
+// across reconstructions with the same seed, which the FuzzForecastNoise
+// target pins. Corrupted prices are clamped at zero and corrupted link
+// limits to [0, MaxLinkUnits], so a prediction can never be negative
+// nor exceed the best link the table ever offers.
+//
+// An error level of 1 or more means predictions carry no information
+// about the channel at all; the forecast then reports a zero horizon,
+// and a Predictive scheduler consulting it degenerates to its myopic
+// baseline (the 100%-error differential test pins this byte-for-byte).
+// NoisyForecast deliberately does not implement sched.SlotWindower:
+// corruption happens per read, never by materializing windows.
+type NoisyForecast struct {
+	t       *LinkTable
+	seed    uint64
+	errFrac float64
+	maxLU   int
+}
+
+// NewNoisyForecast wraps the table's forecast with the seeded error
+// model. errFrac must be non-negative and finite.
+func NewNoisyForecast(t *LinkTable, seed uint64, errFrac float64) (*NoisyForecast, error) {
+	if t == nil {
+		return nil, fmt.Errorf("cell: noisy forecast needs a link table")
+	}
+	if math.IsNaN(errFrac) || math.IsInf(errFrac, 0) || errFrac < 0 {
+		return nil, fmt.Errorf("cell: invalid forecast error level %v", errFrac)
+	}
+	return &NoisyForecast{t: t, seed: seed, errFrac: errFrac, maxLU: t.MaxLinkUnits()}, nil
+}
+
+// ErrFrac returns the configured relative error level.
+func (f *NoisyForecast) ErrFrac() float64 { return f.errFrac }
+
+// noiseSalt* separate the price and link-limit draw streams of one
+// coordinate; without distinct salts the two corruptions would be
+// perfectly correlated.
+const (
+	noiseSaltPrice = 0x70726963 // "pric"
+	noiseSaltLink  = 0x6C696E6B // "link"
+)
+
+// factor returns the multiplicative corruption for one coordinate and
+// stream: uniform in [1−errFrac, 1+errFrac].
+func (f *NoisyForecast) factor(n, i int, salt uint64) float64 {
+	u := rng.HashFloat3(f.seed^salt, uint64(n), uint64(i))
+	return 1 + f.errFrac*(2*u-1)
+}
+
+// HorizonSlots implements sched.Forecast. A fully corrupted forecast
+// (errFrac ≥ 1) predicts nothing.
+func (f *NoisyForecast) HorizonSlots() int {
+	if f.errFrac >= 1 {
+		return 0
+	}
+	return f.t.slots
+}
+
+// PredictedEnergyPerKB implements sched.Forecast.
+func (f *NoisyForecast) PredictedEnergyPerKB(n, i int) units.MJ {
+	p := float64(f.t.epkb[n*f.t.users+i]) * f.factor(n, i, noiseSaltPrice)
+	if p < 0 {
+		p = 0
+	}
+	return units.MJ(p)
+}
+
+// PredictedLinkUnits implements sched.Forecast.
+func (f *NoisyForecast) PredictedLinkUnits(n, i int) int {
+	lu := int(math.Round(float64(f.t.linkUnits[n*f.t.users+i]) * f.factor(n, i, noiseSaltLink)))
+	if lu < 0 {
+		return 0
+	}
+	if lu > f.maxLU {
+		return f.maxLU
+	}
+	return lu
+}

@@ -160,6 +160,12 @@ func (t *LinkTable) Users() int { return t.users }
 // Slots returns the slot horizon the table covers.
 func (t *LinkTable) Slots() int { return t.slots }
 
+// Tau returns the slot length the table was compiled for.
+func (t *LinkTable) Tau() units.Seconds { return t.tau }
+
+// Unit returns the data-unit size δ the table was compiled for.
+func (t *LinkTable) Unit() units.KB { return t.unit }
+
 // ViaLUT reports whether the columns were produced through an exact
 // quantized radio.Table (false means direct analytic evaluation).
 func (t *LinkTable) ViaLUT() bool { return t.lut }

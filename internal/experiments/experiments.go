@@ -28,6 +28,7 @@ import (
 
 	"jointstream/internal/cell"
 	"jointstream/internal/metrics"
+	"jointstream/internal/oracle"
 	"jointstream/internal/rng"
 	"jointstream/internal/sched"
 	"jointstream/internal/units"
@@ -185,6 +186,11 @@ type Runner struct {
 	wlHits     int64
 	wlMisses   int64
 
+	// oracleCache memoizes the tail-accounted oracle bracket per
+	// scenario (the lookahead sweep prices many K against one bracket).
+	oracleMu    sync.Mutex
+	oracleCache map[string]oracle.Bounds
+
 	// runCtx holds the context the current parallel suite runs under;
 	// simulate threads it into cell.RunCtx so a cancelled AllParallel
 	// stops in-flight simulations within one slot instead of letting
@@ -267,10 +273,14 @@ func (s scenario) workload(o Options) workload.Config {
 }
 
 // schedBuilder constructs a fresh scheduler for a run. Schedulers carry
-// per-run state, so every simulation gets a new instance.
+// per-run state, so every simulation gets a new instance. Builders that
+// need the scenario's shared assets — the Predictive scheduler reads its
+// forecast from the compiled link table — set buildWith instead of
+// build; simulate resolves the workload first and passes it in.
 type schedBuilder struct {
-	key   string // cache key component
-	build func() (sched.Scheduler, error)
+	key       string // cache key component
+	build     func() (sched.Scheduler, error)
+	buildWith func(*sharedWorkload) (sched.Scheduler, error)
 }
 
 // run executes (or recalls) one simulation. Concurrent callers asking
@@ -387,7 +397,12 @@ func (r *Runner) simulate(sc scenario, sb schedBuilder) (*cell.Result, error) {
 		return nil, err
 	}
 	cfg.Link = sw.link
-	s, err := sb.build()
+	var s sched.Scheduler
+	if sb.buildWith != nil {
+		s, err = sb.buildWith(sw)
+	} else {
+		s, err = sb.build()
+	}
 	if err != nil {
 		return nil, err
 	}

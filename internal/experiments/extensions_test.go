@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -170,5 +171,53 @@ func TestExtAdaptive(t *testing.T) {
 				t.Errorf("%s = %v not below Default %v", s.Label, last, defEn)
 			}
 		}
+	}
+}
+
+func TestExtPredictive(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.ExtPredictive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 flat reference series + (energy, rebuffer) per error level.
+	checkFigure(t, fig, 4+2*len(predictiveErrLevels))
+	byLabel := map[string]Series{}
+	for _, s := range fig.Series {
+		byLabel[s.Label] = s
+	}
+	lower, upper := byLabel["oracle lower (J)"], byLabel["oracle upper (J)"]
+	if lower.Y[0] > upper.Y[0]+1e-9 {
+		t.Errorf("oracle lower %v above upper %v", lower.Y[0], upper.Y[0])
+	}
+	// K=0 is the myopic Default baseline by construction: the leftmost
+	// exact-forecast point must reproduce the Default run exactly, at
+	// every error level (a zero-depth window reads no forecast at all).
+	def, err := r.defaultRun(scenario{users: r.opts.CDFUsers, avgSizeMB: r.opts.CDFAvgSizeMB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defEn := float64(def.MeanEnergyPerUser()) / 1000
+	for _, errFrac := range predictiveErrLevels {
+		en := byLabel[fmt.Sprintf("Predictive(err=%g) energy (J)", errFrac)]
+		if en.Y[0] != defEn {
+			t.Errorf("err=%g: K=0 energy %v != Default %v", errFrac, en.Y[0], defEn)
+		}
+		// Every Predictive total energy dominates the transmission-only
+		// oracle lower bound.
+		for i, y := range en.Y {
+			if y < lower.Y[i]-1e-9 {
+				t.Errorf("err=%g K-point %d: energy %v below oracle lower %v", errFrac, i, y, lower.Y[i])
+			}
+		}
+	}
+	// The lookahead runs memoize like every other scheduler run: a second
+	// sweep must add no simulations.
+	before := r.cacheSize()
+	if _, err := r.ExtPredictive(); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.cacheSize(); after != before {
+		t.Errorf("second sweep grew the run cache %d -> %d", before, after)
 	}
 }

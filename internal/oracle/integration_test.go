@@ -98,3 +98,124 @@ func TestPlannedScheduleThroughSimulator(t *testing.T) {
 			res.TotalRebuffer(), res2.TotalRebuffer())
 	}
 }
+
+// The compiled link table and the analytic signal-trace path evaluate
+// the same floating-point expressions (the table's LUT is used only when
+// provably exact), so replaying the table through Config.Link must
+// reproduce every bound bitwise — not merely within tolerance.
+func TestTableReplayMatchesAnalytic(t *testing.T) {
+	cellCfg := cell.PaperConfig()
+	cellCfg.Capacity = 4000
+	cellCfg.MaxSlots = 400
+
+	wlCfg := workload.PaperDefaults(4)
+	wlCfg.SizeMin = 8 * units.Megabyte
+	wlCfg.SizeMax = 12 * units.Megabyte
+	wl, err := workload.Generate(wlCfg, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := cell.CompileLink(cellCfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oCfg := Config{
+		Tau:         cellCfg.Tau,
+		Unit:        cellCfg.Unit,
+		Capacity:    cellCfg.Capacity,
+		Horizon:     cellCfg.MaxSlots,
+		Radio:       cellCfg.Radio,
+		RRC:         cellCfg.RRC,
+		AccountTail: true,
+	}
+	analytic, err := Compute(oCfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oCfg.Link = lt
+	replayed, err := Compute(oCfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytic != replayed {
+		t.Errorf("table replay diverged from analytic bounds:\n analytic %+v\n replayed %+v", analytic, replayed)
+	}
+}
+
+// With AccountTail the upper bound prices the omniscient plan's idle
+// gaps through the same Eq. (4) increments the engine commits, so the
+// bound becomes comparable to the simulator's *total* energy — the
+// replayed plan's trans+tail must land within the same few-percent shard
+// rounding as the transmission-only comparison above, and the full
+// dominance bracket must hold around it.
+func TestTailAccountedUpperComparableToSimulator(t *testing.T) {
+	cellCfg := cell.PaperConfig()
+	cellCfg.Capacity = 4000
+	cellCfg.MaxSlots = 400
+	cellCfg.RunFullHorizon = true
+
+	wlCfg := workload.PaperDefaults(4)
+	wlCfg.SizeMin = 8 * units.Megabyte
+	wlCfg.SizeMax = 12 * units.Megabyte
+	wlCfg.Signal.PeriodSlots = 48
+
+	mkSessions := func() []*workload.Session {
+		wl, err := workload.Generate(wlCfg, rng.New(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wl
+	}
+
+	oCfg := Config{
+		Tau:         cellCfg.Tau,
+		Unit:        cellCfg.Unit,
+		Capacity:    cellCfg.Capacity,
+		Horizon:     cellCfg.MaxSlots,
+		Radio:       cellCfg.Radio,
+		RRC:         cellCfg.RRC,
+		AccountTail: true,
+	}
+	plan, err := ComputePlan(oCfg, mkSessions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Bounds.Feasible {
+		t.Fatal("test premise: plan infeasible")
+	}
+	if plan.Bounds.TailMJ <= 0 {
+		t.Fatal("test premise: omniscient plan has no idle gaps to charge")
+	}
+
+	planned, err := sched.NewPlanned(plan.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := cell.New(cellCfg, mkSessions(), planned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trans, total units.MJ
+	for _, u := range res.Users {
+		trans += u.TransEnergy
+		total += u.TransEnergy + u.TailEnergy
+	}
+	diff := math.Abs(float64(total - plan.Bounds.UpperMJ))
+	if diff > 0.02*float64(plan.Bounds.UpperMJ) {
+		t.Errorf("simulated plan total energy %v differs from tail-accounted bound %v (tail %v)",
+			total, plan.Bounds.UpperMJ, plan.Bounds.TailMJ)
+	}
+	// Dominance bracket around the simulated run.
+	if plan.Bounds.LowerMJ > trans+units.MJ(diff) {
+		t.Errorf("lower bound %v exceeds simulated transmission energy %v", plan.Bounds.LowerMJ, trans)
+	}
+	if total > plan.Bounds.WorstMJ {
+		t.Errorf("simulated total %v exceeds the adversarial certificate %v", total, plan.Bounds.WorstMJ)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"jointstream/internal/radio"
 	"jointstream/internal/rng"
+	"jointstream/internal/rrc"
 	"jointstream/internal/signal"
 	"jointstream/internal/units"
 	"jointstream/internal/workload"
@@ -244,5 +245,150 @@ func TestComputePlanMatchesBounds(t *testing.T) {
 		if d < float64(wl[u].Size) {
 			t.Errorf("user %d plan delivers %v of %v KB", u, d, float64(wl[u].Size))
 		}
+	}
+}
+
+// TestTailAccountingModes pins the two tail modes of the upper bound
+// against each other on a scenario whose omniscient plan provably idles
+// exactly one slot: a single user whose channel is cheap at slots 0 and
+// 2 only, with demand sized to exactly those two slots' link capacity.
+// The legacy mode must ignore the idle slot; the accounting mode must
+// charge it the closed-form Eq. (4) increment Pd·τ (τ < T1) plus the
+// full post-transfer drain MaxTailEnergy (the horizon extends well past
+// T1+T2, as the engine's playback lag does), and the lower bound must
+// be identical in both modes.
+func TestTailAccountingModes(t *testing.T) {
+	vals := make([]units.DBm, 20)
+	for i := range vals {
+		vals[i] = -110
+	}
+	vals[0], vals[2] = -50, -50
+	tr, err := signal.FromSlice(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(20)
+	cfg.Capacity = 50000 // never binding: the per-slot link cap decides
+	prof := rrc.Paper3G()
+
+	link := cfg.Radio.Throughput.Throughput(-50)
+	mu := int(float64(link) * float64(cfg.Tau) / float64(cfg.Unit))
+	if mu < 1 {
+		t.Fatalf("test premise: cheap slot carries %d units", mu)
+	}
+	s := &workload.Session{
+		ID: 0, BaseRate: 400, Signal: tr,
+		Size: units.KB(float64(2*mu) * float64(cfg.Unit)),
+	}
+
+	ignore, err := Compute(cfg, []*workload.Session{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acctCfg := cfg
+	acctCfg.RRC = prof
+	acctCfg.AccountTail = true
+	account, err := Compute(acctCfg, []*workload.Session{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ignore.TailMJ != 0 {
+		t.Errorf("legacy mode reports tail %v, want 0", ignore.TailMJ)
+	}
+	// One mid-gap idle slot plus the complete trailing drain.
+	wantTail := float64(prof.Pd.Energy(cfg.Tau)) + float64(prof.MaxTailEnergy())
+	if math.Abs(float64(account.TailMJ)-wantTail) > 1e-9 {
+		t.Errorf("accounted tail = %v, want idle slot + drain = %v", account.TailMJ, wantTail)
+	}
+	if got, want := float64(account.UpperMJ), float64(ignore.UpperMJ)+wantTail; math.Abs(got-want) > 1e-9 {
+		t.Errorf("accounted upper = %v, want transmission %v + tail %v", got, ignore.UpperMJ, wantTail)
+	}
+	if account.LowerMJ != ignore.LowerMJ {
+		t.Errorf("lower bound moved with tail mode: %v vs %v", account.LowerMJ, ignore.LowerMJ)
+	}
+}
+
+// TestWorstBoundDominates asserts the dominance certificate closes over
+// the optimistic bracket on a random workload, in both tail modes.
+func TestWorstBoundDominates(t *testing.T) {
+	cfg := testConfig(400)
+	wl, err := workload.Generate(workload.PaperDefaults(6), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range wl {
+		s.Size = 20 * units.Megabyte
+	}
+	for _, accountTail := range []bool{false, true} {
+		c := cfg
+		if accountTail {
+			c.RRC = rrc.Paper3G()
+			c.AccountTail = true
+		}
+		b, err := Compute(c, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.WorstMJ < b.UpperMJ {
+			t.Errorf("accountTail=%v: worst %v below upper %v", accountTail, b.WorstMJ, b.UpperMJ)
+		}
+		if b.WorstMJ < b.LowerMJ {
+			t.Errorf("accountTail=%v: worst %v below lower %v", accountTail, b.WorstMJ, b.LowerMJ)
+		}
+	}
+}
+
+// TestLowerBoundDelivered checks the per-run certificate degenerates
+// correctly: full delivery reproduces LowerMJ, partial delivery costs
+// no more, zero delivery costs nothing, and shape mismatches error.
+func TestLowerBoundDelivered(t *testing.T) {
+	cfg := testConfig(400)
+	wl, err := workload.Generate(workload.PaperDefaults(4), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range wl {
+		s.Size = 10 * units.Megabyte
+	}
+	b, err := Compute(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := make([]units.KB, len(wl))
+	half := make([]units.KB, len(wl))
+	zero := make([]units.KB, len(wl))
+	for i, s := range wl {
+		full[i] = s.Size
+		half[i] = s.Size / 2
+	}
+	gotFull, err := LowerBoundDelivered(cfg, wl, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFull != b.LowerMJ {
+		t.Errorf("full delivery bound %v != LowerMJ %v", gotFull, b.LowerMJ)
+	}
+	gotHalf, err := LowerBoundDelivered(cfg, wl, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHalf <= 0 || gotHalf >= gotFull {
+		t.Errorf("half delivery bound %v outside (0, %v)", gotHalf, gotFull)
+	}
+	gotZero, err := LowerBoundDelivered(cfg, wl, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotZero != 0 {
+		t.Errorf("zero delivery bound %v, want 0", gotZero)
+	}
+	if _, err := LowerBoundDelivered(cfg, wl, full[:1]); err == nil {
+		t.Error("mismatched delivered length accepted")
+	}
+	half[0] = -1
+	if _, err := LowerBoundDelivered(cfg, wl, half); err == nil {
+		t.Error("negative delivered accepted")
 	}
 }

@@ -52,6 +52,26 @@ func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
+// Hash3 mixes three words into one uniformly distributed word with the
+// same SplitMix64 finalizer the sequential stream uses. It is the
+// stateless counterpart of Source: a pure function of its inputs, so
+// callers that need a reproducible draw addressed by coordinates (for
+// example, forecast noise keyed by (seed, slot, user)) get determinism
+// without carrying generator state. Each word is folded in with the
+// golden-ratio increment before mixing so (a,b,c) permutations and
+// nearby coordinates decorrelate.
+func Hash3(a, b, c uint64) uint64 {
+	h := mix(a + 0x9E3779B97F4A7C15)
+	h = mix(h ^ (b + 0x9E3779B97F4A7C15))
+	return mix(h ^ (c + 0x9E3779B97F4A7C15))
+}
+
+// HashFloat3 maps Hash3 onto a uniform float in [0, 1), with the same
+// 53-bit conversion Float64 uses.
+func HashFloat3(a, b, c uint64) float64 {
+	return float64(Hash3(a, b, c)>>11) / (1 << 53)
+}
+
 // Uniform returns a uniform value in [lo, hi). It panics if hi < lo.
 func (s *Source) Uniform(lo, hi float64) float64 {
 	if hi < lo {

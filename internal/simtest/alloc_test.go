@@ -75,14 +75,15 @@ func steadyAllocsPerSlot(t *testing.T, mk func() sched.Scheduler) float64 {
 
 // TestTickSteadyStateZeroAllocs pins the tentpole's zero-allocation
 // guarantee: once the first slot has grown every buffer, the prepare →
-// schedule → commit loop allocates nothing, for both the incremental-sort
-// RTMA and the DP-heavy EMA at N=10k.
+// schedule → commit loop allocates nothing — for the incremental-sort
+// RTMA, the DP-heavy EMA, and the lookahead Predictive (whose factory
+// arm reads the interface forecast path) at N=10k.
 func TestTickSteadyStateZeroAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("10k-user allocation measurement; skipped in -short")
 	}
 	for name, mk := range factories(t) {
-		if name != "RTMA" && name != "EMA" {
+		if name != "RTMA" && name != "EMA" && name != "Predictive" {
 			continue
 		}
 		t.Run(name, func(t *testing.T) {
@@ -90,5 +91,41 @@ func TestTickSteadyStateZeroAllocs(t *testing.T) {
 				t.Errorf("steady-state tick loop allocates %.2f objects/slot, want 0", got)
 			}
 		})
+	}
+}
+
+// TestTickSteadyStatePredictiveWindowAllocs covers the branch the
+// factory arm can't reach: a table-backed forecast routes Predictive
+// through the SlotWindower fast path, whose per-slot window scratch is
+// rebuilt every Allocate by re-aliasing the table's column slices. That
+// rebuild must stay header-copy only — zero allocations per slot once
+// the scratch has grown.
+func TestTickSteadyStatePredictiveWindowAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-user allocation measurement; skipped in -short")
+	}
+	wl, err := SmallWorkload(5, allocUsers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compile once at the longer horizon; the forecast truncates itself
+	// at the table edge, so the shorter measurement arm reads a prefix.
+	cfg := cell.PaperConfig()
+	cfg.Capacity = 2000
+	cfg.MaxSlots = allocLongSlots
+	cfg.Workers = 1
+	lt, err := cell.CompileLink(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() sched.Scheduler {
+		p, err := sched.NewPredictive(sched.PredictiveConfig{Lookahead: 6, Forecast: lt.Forecast()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if got := steadyAllocsPerSlot(t, mk); got != 0 {
+		t.Errorf("steady-state windowed Predictive tick allocates %.2f objects/slot, want 0", got)
 	}
 }

@@ -1,0 +1,195 @@
+package simtest
+
+import (
+	"fmt"
+	"testing"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/oracle"
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// This file is the oracle-dominance property suite: every scheduler in
+// the repo, run over randomized workloads from all three trace models,
+// must land inside the certified energy bracket of internal/oracle:
+//
+//	LowerBoundDelivered(run) ≤ trans(S) ≤ total(S) ≤ WorstMJ
+//
+// The lower certificate prices the bytes the run *actually delivered*
+// at each user's cheapest feasible slots, so it binds schedulers that
+// finish and schedulers that stall out alike; the upper certificate
+// prices every deliverable byte at the worst feasible slot plus a
+// max-power tail every slot. A violation on either side means the
+// engine's Eq. (3)–(5) accounting and the oracle's replay of the same
+// link physics have diverged — the failure message carries the (model,
+// seed, scheduler) triple to reproduce it.
+
+// dominanceSeeds are the workload seeds swept per trace model (the
+// fixed matrix seed plus fresh ones).
+var dominanceSeeds = []uint64{7, 101, 9000}
+
+// dominanceEps absorbs float accumulation differences between the
+// engine's per-slot sums and the oracle's sorted fills.
+const dominanceEps = 1e-6
+
+// oracleCfgFor mirrors an engine configuration into the oracle's.
+func oracleCfgFor(cfg cell.Config, lt *cell.LinkTable) oracle.Config {
+	oc := oracle.Config{
+		Tau:         cfg.Tau,
+		Unit:        cfg.Unit,
+		Capacity:    cfg.Capacity,
+		Horizon:     cfg.MaxSlots,
+		Radio:       cfg.Radio,
+		RRC:         cfg.RRC,
+		AccountTail: true,
+	}
+	if lt != nil {
+		oc.Link = lt
+	}
+	return oc
+}
+
+// dominanceArms returns every scheduler the bracket is asserted over:
+// the eight factory baselines plus the forecast-driven Predictive
+// reading the run's own compiled link table.
+func dominanceArms(t *testing.T, lt *cell.LinkTable) map[string]func() sched.Scheduler {
+	arms := factories(t)
+	arms["Predictive(table)"] = func() sched.Scheduler {
+		p, err := sched.NewPredictive(sched.PredictiveConfig{Lookahead: 8, Forecast: lt.Forecast()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return arms
+}
+
+// TestOracleDominance asserts the bracket for all nine schedulers over
+// randomized workloads across the three trace models.
+func TestOracleDominance(t *testing.T) {
+	for _, model := range traceModels {
+		for _, seed := range dominanceSeeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", model, seed), func(t *testing.T) {
+				cfg := engineCfg()
+				// One compile serves the Predictive forecast, the engine's
+				// tick path, and the oracle replay: all three read the same
+				// columns, so the bracket compares like against like.
+				lt, err := cell.CompileLink(cfg, traceSessionsSeed(t, model, 6, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Link = lt
+				oCfg := oracleCfgFor(cfg, lt)
+				bounds, err := oracle.Compute(oCfg, traceSessionsSeed(t, model, 6, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bounds.LowerMJ > bounds.UpperMJ+dominanceEps {
+					t.Errorf("model %s seed %d: oracle lower %v above upper %v", model, seed, bounds.LowerMJ, bounds.UpperMJ)
+				}
+				if bounds.UpperMJ > bounds.WorstMJ+dominanceEps {
+					t.Errorf("model %s seed %d: oracle upper %v above the adversarial certificate %v", model, seed, bounds.UpperMJ, bounds.WorstMJ)
+				}
+
+				for name, mk := range dominanceArms(t, lt) {
+					sessions := traceSessionsSeed(t, model, 6, seed)
+					sim, err := cell.New(cfg, sessions, mk())
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					res, err := sim.Run()
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					var trans, total units.MJ
+					delivered := make([]units.KB, len(res.Users))
+					for i, u := range res.Users {
+						trans += u.TransEnergy
+						total += u.TransEnergy + u.TailEnergy
+						delivered[i] = u.DeliveredKB
+					}
+					lower, err := oracle.LowerBoundDelivered(oCfg, sessions, delivered)
+					if err != nil {
+						t.Fatalf("%s: lower bound: %v", name, err)
+					}
+					eps := units.MJ(dominanceEps * (1 + float64(trans)))
+					if lower > trans+eps {
+						t.Errorf("model %s seed %d scheduler %s: delivered-bytes lower bound %v above measured transmission energy %v",
+							model, seed, name, lower, trans)
+					}
+					if total > bounds.WorstMJ+eps {
+						t.Errorf("model %s seed %d scheduler %s: total energy %v above the adversarial certificate %v",
+							model, seed, name, total, bounds.WorstMJ)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOracleDominanceGeneratedWorkloads repeats the bracket over
+// workload.Generate scenarios (the experiment harness's generator, with
+// arrival stagger and rate jitter) rather than the matrix traces, so
+// the certificate also covers the paper-shaped workload path.
+func TestOracleDominanceGeneratedWorkloads(t *testing.T) {
+	for _, seed := range []uint64{3, 44} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			mkSessions := func() []*workload.Session {
+				wlCfg := workload.PaperDefaults(5).WithAvgSize(4000)
+				wlCfg.Signal.PeriodSlots = 24
+				wlCfg.RateJitterFrac = 0.2
+				wlCfg.MeanInterarrival = 3
+				sessions, err := workload.Generate(wlCfg, rng.New(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sessions
+			}
+			cfg := engineCfg()
+			lt, err := cell.CompileLink(cfg, mkSessions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Link = lt
+			oCfg := oracleCfgFor(cfg, lt)
+			bounds, err := oracle.Compute(oCfg, mkSessions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, mk := range dominanceArms(t, lt) {
+				sessions := mkSessions()
+				sim, err := cell.New(cfg, sessions, mk())
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				res, err := sim.Run()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				var trans, total units.MJ
+				delivered := make([]units.KB, len(res.Users))
+				for i, u := range res.Users {
+					trans += u.TransEnergy
+					total += u.TransEnergy + u.TailEnergy
+					delivered[i] = u.DeliveredKB
+				}
+				lower, err := oracle.LowerBoundDelivered(oCfg, sessions, delivered)
+				if err != nil {
+					t.Fatalf("%s: lower bound: %v", name, err)
+				}
+				eps := units.MJ(dominanceEps * (1 + float64(trans)))
+				if lower > trans+eps {
+					t.Errorf("seed %d scheduler %s: delivered-bytes lower bound %v above measured transmission energy %v",
+						seed, name, lower, trans)
+				}
+				if total > bounds.WorstMJ+eps {
+					t.Errorf("seed %d scheduler %s: total energy %v above the adversarial certificate %v",
+						seed, name, total, bounds.WorstMJ)
+				}
+			}
+		})
+	}
+}

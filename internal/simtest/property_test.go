@@ -43,6 +43,14 @@ func factories(t testing.TB) map[string]func() sched.Scheduler {
 				Omega: 0.05, RRC: rrc.Paper3G(),
 			}))
 		},
+		// The slot-level suites drive Predictive through the synthetic
+		// per-slot forecast (see slotForecast); the engine matrix and
+		// dominance suites rebuild it against real link-table forecasts.
+		"Predictive": func() sched.Scheduler {
+			return must(sched.NewPredictive(sched.PredictiveConfig{
+				Lookahead: 6, Forecast: slotForecast{seed: 17},
+			}))
+		},
 	}
 }
 

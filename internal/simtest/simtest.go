@@ -186,6 +186,30 @@ func SameResults(a, b *cell.Result) error {
 	return nil
 }
 
+// SamePhysics is SameResults without the scheduler-name comparison: two
+// *different* schedulers produced what must be the same run. The
+// myopic-degeneration differentials use it to pin Predictive's K=0 (and
+// no-information) modes byte-for-byte against the Default baseline.
+func SamePhysics(a, b *cell.Result) error {
+	if a.Slots != b.Slots {
+		return fmt.Errorf("simtest: slot count %d vs %d", a.Slots, b.Slots)
+	}
+	if !reflect.DeepEqual(a.Users, b.Users) {
+		return fmt.Errorf("simtest: per-user totals diverged")
+	}
+	if !reflect.DeepEqual(a.PerSlot, b.PerSlot) {
+		return fmt.Errorf("simtest: per-slot aggregates diverged")
+	}
+	if !reflect.DeepEqual(a.RebufferSamples, b.RebufferSamples) ||
+		!reflect.DeepEqual(a.EnergySamples, b.EnergySamples) {
+		return fmt.Errorf("simtest: per-user-slot samples diverged")
+	}
+	if a.ClampEvents != b.ClampEvents {
+		return fmt.Errorf("simtest: clamp events %d vs %d", a.ClampEvents, b.ClampEvents)
+	}
+	return nil
+}
+
 // SameResultsApprox compares two simulation results allowing the slot
 // aggregates to differ by floating-point reassociation: the sharded tick
 // engine sums per-shard partials instead of a flat per-user loop, so

@@ -29,7 +29,14 @@ var traceModels = []string{"sine+wgn", "randomwalk", "gilbert-elliott"}
 // differential harness build the two engine arms independently.
 func traceSessions(t testing.TB, model string, users int) []*workload.Session {
 	t.Helper()
-	src := rng.New(uint64(31 + len(model)))
+	return traceSessionsSeed(t, model, users, uint64(31+len(model)))
+}
+
+// traceSessionsSeed is traceSessions with an explicit generator seed, so
+// the dominance suite can sweep workloads beyond the matrix's fixed one.
+func traceSessionsSeed(t testing.TB, model string, users int, seed uint64) []*workload.Session {
+	t.Helper()
+	src := rng.New(seed)
 	mkTrace := func(i int) (signal.Trace, error) {
 		switch model {
 		case "sine+wgn":
