@@ -9,6 +9,7 @@
 package jointstream
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -104,6 +105,31 @@ func BenchmarkFig09bRebufferCompare(b *testing.B) {
 
 func BenchmarkFig10TradeoffPanel(b *testing.B) {
 	benchFigure(b, (*experiments.Runner).Fig10)
+}
+
+// BenchmarkSweepPaperScale is the end-to-end number the perf gate
+// tracks in ms/sweep: one full parallel figure sweep through the
+// multi-arm batched Runner — workload cache, compiled link tables,
+// lockstep RunArms groups and all. It honors JOINTSTREAM_PAPER_SCALE
+// like the figure benchmarks (CI runs the quick scale; the recorded
+// results/BENCH_sweep.json numbers come from the paper scale via
+// jstream-bench -sweep). A sanity check on the figure count keeps a
+// silently truncated sweep from benchmarking as a speedup.
+func BenchmarkSweepPaperScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.NewRunner(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		figs, err := r.AllParallel(context.Background(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 13 {
+			b.Fatalf("got %d figures, want 13", len(figs))
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/sweep")
 }
 
 // BenchmarkClaims regenerates the headline-claims table.

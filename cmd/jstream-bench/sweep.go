@@ -29,6 +29,16 @@ type sweepReport struct {
 	Figures             int     `json:"figures"`
 	WorkloadCacheHits   int64   `json:"workload_cache_hits"`
 	WorkloadCacheMisses int64   `json:"workload_cache_misses"`
+	// WorkloadCacheHitRate is hits/(hits+misses): the fraction of
+	// simulations that reused an already-built scenario workload.
+	WorkloadCacheHitRate float64 `json:"workload_cache_hit_rate"`
+	// ArmGroups counts the lockstep cell.RunArms groups the sweep
+	// dispatched; GroupedRuns the simulations executed inside them;
+	// ArmsPerGroup their ratio (mean scheduler arms ticked per shared
+	// workload pass).
+	ArmGroups    int64   `json:"arm_groups"`
+	GroupedRuns  int64   `json:"grouped_runs"`
+	ArmsPerGroup float64 `json:"arms_per_group"`
 }
 
 // runSweep regenerates every figure with AllParallel, times the sweep,
@@ -54,6 +64,7 @@ func runSweep(outPath string, quick bool, seed uint64) error {
 	}
 	elapsed := time.Since(start)
 	hits, misses := r.WorkloadCacheStats()
+	groups, grouped := r.MultiArmStats()
 
 	rep := sweepReport{
 		Cores:               runtime.NumCPU(),
@@ -64,6 +75,14 @@ func runSweep(outPath string, quick bool, seed uint64) error {
 		Figures:             len(figs),
 		WorkloadCacheHits:   hits,
 		WorkloadCacheMisses: misses,
+		ArmGroups:           groups,
+		GroupedRuns:         grouped,
+	}
+	if total := hits + misses; total > 0 {
+		rep.WorkloadCacheHitRate = float64(hits) / float64(total)
+	}
+	if groups > 0 {
+		rep.ArmsPerGroup = float64(grouped) / float64(groups)
 	}
 	f, err := os.Create(outPath)
 	if err != nil {
@@ -78,6 +97,8 @@ func runSweep(outPath string, quick bool, seed uint64) error {
 	fmt.Printf("sweep: %d figures in %.2fs (%s scale, %d cores)\n",
 		rep.Figures, rep.Seconds, rep.Scale, rep.Cores)
 	logWorkloadCache(r)
+	fmt.Printf("multi-arm: %d lockstep groups covering %d runs (%.1f arms/group)\n",
+		rep.ArmGroups, rep.GroupedRuns, rep.ArmsPerGroup)
 	fmt.Printf("report written to %s\n", outPath)
 	return nil
 }

@@ -8,6 +8,7 @@
 package cell
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -408,6 +409,37 @@ type Simulator struct {
 	// capUnits is the nominal per-slot capacity in units; the engines
 	// restore it after every outage slot zeroes slot.CapacityUnits.
 	capUnits int
+
+	// Run-scoped state of the sharded engine, set by startRun and consumed
+	// by tickSlot and the shard bodies (engine.go). The shard bodies are
+	// method values bound once per run so the slot loop never allocates a
+	// closure; they read the per-slot parameters from these fields.
+	curRes    *Result
+	curSlot   int
+	curShards int
+	curLive   []int
+	// curDense marks a slot whose live list is the identity [0, N): the
+	// shard bodies then run the dense kernels (kernels.go) over contiguous
+	// index ranges instead of gathering through the live list.
+	curDense bool
+	// colsSlot is the slot whose dynamic columns and active list are
+	// already prepared (by the previous slot's fused commit+prepare pass),
+	// or -1 when the next slot must run a standalone prepare phase.
+	colsSlot int
+	// prevEpkb/prevRate pin the *previous* slot's static price and rate
+	// columns across the fused pass: attachSlotColumns has already moved
+	// s.cols on to the next slot's windows, but the commit half of the
+	// pass must still price this slot's deliveries with this slot's
+	// physics. With a link table these are zero-copy aliases of immutable
+	// windows; without one they alias the engine-owned arrays and the
+	// fused kernel relies on its per-user read-commit-then-write-prepare
+	// order.
+	prevEpkb []units.MJ
+	prevRate []units.KBps
+	prepFn   func(int)
+	commFn   func(int)
+	fusedFn  func(int)
+	lblPrep, lblSched, lblCommit, lblFused context.Context
 }
 
 // outageAt reports whether slot n falls inside any configured outage
@@ -550,6 +582,7 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 	// engine-maintained (empty) active list instead of the nil fallback.
 	sim.activeBuf = make([]int, 0, len(sessions))
 	sim.unfinished = len(sessions)
+	sim.colsSlot = -1
 	return sim, nil
 }
 

@@ -22,6 +22,27 @@ import (
 // per-shard partial sums are reduced in shard order. Any worker count
 // therefore produces a byte-identical Result; RunReference keeps the
 // original full-scan serial loop as the differential reference.
+//
+// Two further structural optimizations live here (see DESIGN.md §10):
+//
+//   - Fused commit+prepare: commit of slot n and prepare of slot n+1 read
+//     and write the same per-user state but have no cross-user
+//     dependencies, so the engine runs them as one pass — each user is
+//     committed for slot n and immediately prepared for slot n+1,
+//     touching its state once per slot instead of twice. Per-user the
+//     operation order is exactly commit(n);prepare(n+1), which equals the
+//     phase-separated engine because neither phase reads another user's
+//     state. Users admitted at n+1 (absent from slot n's live list) are
+//     patched in by admit; users retired at n are prepared wastefully and
+//     then re-zeroed by dropRetired, exactly as the phase-separated
+//     engine leaves them.
+//
+//   - Multi-arm lockstep (RunArms): several simulators sharing one
+//     workload and link table are ticked slot-by-slot in one loop, so a
+//     slot's static physics windows stay cache-hot across all arms. Each
+//     arm executes the identical per-slot sequence it would run alone,
+//     which makes its Result byte-identical to a single-arm run by
+//     construction (asserted by internal/simtest's multi-arm matrix).
 
 // Run executes the simulation and returns the collected result.
 func (s *Simulator) Run() (*Result, error) {
@@ -36,151 +57,265 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
-	res := s.newResult()
-	slot := &s.slot
-	alloc := s.alloc
-	link := s.link
-
-	// The production engine runs on the zero-copy column view: schedulers
-	// read through the Slot accessors, which route to s.cols whenever it is
-	// attached. The AoS Users slice stays nil here — only RunReference
-	// materializes it.
-	slot.Cols = &s.cols
-	slot.Users = nil
-
-	// Phase attribution for -cpuprofile: one labeled context per phase,
-	// created once outside the slot loop (pprof.Do would allocate per
-	// call). SetGoroutineLabels is allocation-free, and pool.Shard spawns
-	// its workers after the label is set, so shard goroutines inherit the
-	// current phase label.
-	prepareCtx := pprof.WithLabels(ctx, pprof.Labels("phase", "prepare"))
-	scheduleCtx := pprof.WithLabels(ctx, pprof.Labels("phase", "schedule"))
-	commitCtx := pprof.WithLabels(ctx, pprof.Labels("phase", "commit"))
+	s.startRun(ctx)
 	defer pprof.SetGoroutineLabels(ctx)
-
-	// The shard bodies are built once and fed per-slot state through these
-	// captured variables: a closure literal inside the loop would capture
-	// slotIdx and allocate a fresh func value every slot, breaking the
-	// steady-state zero-allocation guarantee.
-	var (
-		curSlot   int
-		curShards int
-		curLive   []int
-	)
-	prepareShard := func(sh int) {
-		lo, hi := shardBounds(sh, curShards, len(curLive))
-		act := s.shardAct[sh][:0]
-		for _, i := range curLive[lo:hi] {
-			if s.prepareColsUser(link, curSlot, i) {
-				act = append(act, i)
-			}
-			alloc[i] = 0
-		}
-		s.shardAct[sh] = act
-	}
-	commitShard := func(sh int) {
-		lo, hi := shardBounds(sh, curShards, len(curLive))
-		acc := &s.shardAcc[sh]
-		*acc = slotAccum{errUser: -1}
-		for _, i := range curLive[lo:hi] {
-			if err := s.commitUser(curSlot, i, res, acc); err != nil {
-				acc.err = err
-				acc.errUser = i
-				return
-			}
-			if s.retireEligible(i) {
-				s.users[i].retired = true
-				acc.retires++
-			}
-		}
-	}
 
 	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cell: run cancelled at slot %d: %w", slotIdx, err)
 		}
-		s.admit(slotIdx, res)
-		if s.unfinished == 0 && !s.cfg.RunFullHorizon && slotIdx > 0 {
+		done, err := s.tickSlot(slotIdx)
+		if err != nil {
+			return nil, err
+		}
+		if done {
 			break
 		}
-		slot.N = slotIdx
-		shards := s.shardCount(len(s.live))
-		s.ensureShardScratch(shards)
-		curSlot, curShards, curLive = slotIdx, shards, s.live
+	}
+	return s.finishRun(), nil
+}
 
-		// Phase 1: prepare. Re-alias the static physics columns to this
-		// slot's link-table window (three slice-header writes), then each
-		// shard refreshes its users' dynamic columns in place and collects
-		// its segment of the active list.
-		pprof.SetGoroutineLabels(prepareCtx)
-		s.attachSlotColumns(slotIdx)
-		pool.Shard(s.workers, shards, prepareShard)
-		s.activeBuf = s.activeBuf[:0]
-		for sh := 0; sh < shards; sh++ {
-			s.activeBuf = append(s.activeBuf, s.shardAct[sh]...)
+// RunArms executes several simulators over a shared slot clock; see
+// RunArmsCtx.
+func RunArms(sims []*Simulator) ([]*Result, error) {
+	return RunArmsCtx(context.Background(), sims)
+}
+
+// RunArmsCtx ticks all scheduler arms in lockstep: one slot loop, inside
+// which every still-running arm executes its prepare/schedule/commit for
+// that slot. The arms are expected to share a workload and a compiled
+// link table (Config.Link) — that is what makes lockstep worthwhile,
+// because each slot's static physics window is read by every arm while
+// still cache-hot — but nothing is shared mutably: each arm owns its
+// user state, columns and result, and executes exactly the per-slot
+// sequence RunCtx would run for it alone. Every arm's Result is
+// therefore byte-identical to its own single-arm run, for any worker
+// count. Arms may have different horizons and finish (or early-exit) on
+// different slots; results are returned in arm order. An error in any
+// arm aborts the whole call.
+func RunArmsCtx(ctx context.Context, sims []*Simulator) ([]*Result, error) {
+	if len(sims) == 0 {
+		return nil, fmt.Errorf("cell: no arms")
+	}
+	maxSlots := 0
+	for k, sim := range sims {
+		if sim == nil {
+			return nil, fmt.Errorf("cell: arm %d is nil", k)
 		}
-		slot.ActiveList = s.activeBuf
-
-		pprof.SetGoroutineLabels(scheduleCtx)
-		// Phase 2: schedule. One Allocate per slot, by contract serial.
-		// An outage slot has zero capacity: the scheduler is not consulted
-		// (alloc is already zeroed by prepare) and the commit phase applies
-		// the degraded physics — buffers drain, rebuffering and tail energy
-		// accrue. Users stay live, so service resumes by itself when the
-		// window closes.
-		if s.outageAt(slotIdx) {
-			slot.CapacityUnits = 0
-			res.DegradedSlots++
-		} else {
-			slot.CapacityUnits = s.capUnits
-			s.sched.Allocate(slot, alloc)
-			clamps, err := s.enforce(slot, alloc)
-			if err != nil {
-				return nil, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
-			}
-			res.ClampEvents += clamps
+		if err := sim.begin(); err != nil {
+			return nil, fmt.Errorf("cell: arm %d: %w", k, err)
 		}
-
-		// Phase 3: commit. Each shard applies the physics to its users and
-		// accumulates partial sums; a shard stops at its first error.
-		pprof.SetGoroutineLabels(commitCtx)
-		pool.Shard(s.workers, shards, commitShard)
-
-		// Reduce in shard order: identical addition sequence regardless of
-		// worker count, and — with one shard — identical to the reference
-		// engine's flat per-user accumulation.
-		st := SlotTotals{}
-		var fairNum, fairDen float64
-		var fairCount, retires int
-		for sh := 0; sh < shards; sh++ {
-			acc := &s.shardAcc[sh]
-			if acc.err != nil {
-				return nil, fmt.Errorf("cell: user %d slot %d: %w", acc.errUser, slotIdx, acc.err)
-			}
-			st.Rebuffer += acc.rebuffer
-			st.Energy += acc.energy
-			st.UsedUnits += acc.usedUnits
-			fairNum += acc.fairNum
-			fairDen += acc.fairDen
-			fairCount += acc.fairCount
-			s.unfinished -= acc.completions
-			retires += acc.retires
-		}
-		st.Fairness = jain(fairNum, fairDen, fairCount)
-		res.PerSlot = append(res.PerSlot, st)
-		res.Slots = slotIdx + 1
-		if retires > 0 {
-			s.dropRetired()
+		if sim.cfg.MaxSlots > maxSlots {
+			maxSlots = sim.cfg.MaxSlots
 		}
 	}
+	for _, sim := range sims {
+		sim.startRun(ctx)
+	}
+	defer pprof.SetGoroutineLabels(ctx)
+
+	done := make([]bool, len(sims))
+	running := len(sims)
+	for slotIdx := 0; slotIdx < maxSlots && running > 0; slotIdx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cell: run cancelled at slot %d: %w", slotIdx, err)
+		}
+		for k, sim := range sims {
+			if done[k] || slotIdx >= sim.cfg.MaxSlots {
+				if !done[k] && slotIdx >= sim.cfg.MaxSlots {
+					done[k] = true
+					running--
+				}
+				continue
+			}
+			armDone, err := sim.tickSlot(slotIdx)
+			if err != nil {
+				return nil, fmt.Errorf("cell: arm %d (%s): %w", k, sim.sched.Name(), err)
+			}
+			if armDone {
+				done[k] = true
+				running--
+			}
+		}
+	}
+	results := make([]*Result, len(sims))
+	for k, sim := range sims {
+		results[k] = sim.finishRun()
+	}
+	return results, nil
+}
+
+// startRun initializes the run-scoped engine state: the result shell,
+// the SoA slot view, the phase-label contexts for -cpuprofile
+// attribution, and the shard bodies. The bodies are method values bound
+// once here — a closure literal inside the slot loop would capture the
+// slot index and allocate a fresh func value every slot, breaking the
+// steady-state zero-allocation guarantee.
+func (s *Simulator) startRun(ctx context.Context) {
+	s.curRes = s.newResult()
+
+	// The production engine runs on the zero-copy column view: schedulers
+	// read through the Slot accessors, which route to s.cols whenever it is
+	// attached. The AoS Users slice stays nil here — only RunReference
+	// materializes it.
+	s.slot.Cols = &s.cols
+	s.slot.Users = nil
+	s.colsSlot = -1
+
+	// Phase attribution for -cpuprofile: one labeled context per phase,
+	// created once per run (pprof.Do would allocate per call).
+	// SetGoroutineLabels is allocation-free, and pool.Shard spawns its
+	// workers after the label is set, so shard goroutines inherit the
+	// current phase label. The fused pass gets its own label: its samples
+	// are commit(n) and prepare(n+1) work combined.
+	s.lblPrep = pprof.WithLabels(ctx, pprof.Labels("phase", "prepare"))
+	s.lblSched = pprof.WithLabels(ctx, pprof.Labels("phase", "schedule"))
+	s.lblCommit = pprof.WithLabels(ctx, pprof.Labels("phase", "commit"))
+	s.lblFused = pprof.WithLabels(ctx, pprof.Labels("phase", "fused"))
+
+	s.prepFn = s.prepareShardBody
+	s.commFn = s.commitShardBody
+	s.fusedFn = s.fusedShardBody
+}
+
+// finishRun pads the recorded series and finalizes the result.
+func (s *Simulator) finishRun() *Result {
+	res := s.curRes
 	s.padSamples(res)
 	res.Finalize()
-	return res, nil
+	return res
+}
+
+// smallNSerialCutoff is the live-user count below which the tick phases
+// run serially regardless of Config.Workers: dispatching goroutines
+// through the shard pool costs more than the work itself (measured by
+// BenchmarkShardCrossover in internal/pool — the goroutine handoff only
+// amortizes in the thousands-of-users range). The shard *layout* is
+// untouched, so the serial path reduces the identical partial sums and
+// the Result stays byte-identical.
+const smallNSerialCutoff = 2048
+
+// runWorkers resolves the worker count for one slot's sharded phases.
+func (s *Simulator) runWorkers(live int) int {
+	if live < smallNSerialCutoff {
+		return 1
+	}
+	return s.workers
+}
+
+// tickSlot advances the run by one slot: admission, the prepare phase
+// (unless the previous slot's fused pass already prepared this slot),
+// scheduling, the fused commit+prepare (or plain commit on the final
+// slot), and the shard-ordered reduction. It returns done=true when the
+// run is over (every session finished before this slot).
+func (s *Simulator) tickSlot(slotIdx int) (bool, error) {
+	res := s.curRes
+	s.admit(slotIdx, res)
+	if s.unfinished == 0 && !s.cfg.RunFullHorizon && slotIdx > 0 {
+		return true, nil
+	}
+	s.slot.N = slotIdx
+	shards := s.shardCount(len(s.live))
+	s.ensureShardScratch(shards)
+	s.curSlot, s.curShards, s.curLive = slotIdx, shards, s.live
+	s.curDense = len(s.live) == len(s.users)
+	workers := s.runWorkers(len(s.live))
+
+	// Phase 1: prepare. Re-alias the static physics columns to this
+	// slot's link-table window (three slice-header writes), then each
+	// shard refreshes its users' dynamic columns in place and collects
+	// its segment of the active list. Skipped entirely when the previous
+	// slot's fused pass already prepared this slot.
+	if s.colsSlot != slotIdx {
+		pprof.SetGoroutineLabels(s.lblPrep)
+		s.attachSlotColumns(slotIdx)
+		pool.Shard(workers, shards, s.prepFn)
+		s.collectActive(shards)
+	}
+	s.slot.ActiveList = s.activeBuf
+
+	pprof.SetGoroutineLabels(s.lblSched)
+	// Phase 2: schedule. One Allocate per slot, by contract serial.
+	// An outage slot has zero capacity: the scheduler is not consulted
+	// (alloc is already zeroed by prepare) and the commit phase applies
+	// the degraded physics — buffers drain, rebuffering and tail energy
+	// accrue. Users stay live, so service resumes by itself when the
+	// window closes.
+	if s.outageAt(slotIdx) {
+		s.slot.CapacityUnits = 0
+		res.DegradedSlots++
+	} else {
+		s.slot.CapacityUnits = s.capUnits
+		s.sched.Allocate(&s.slot, s.alloc)
+		clamps, err := s.enforce(&s.slot, s.alloc)
+		if err != nil {
+			return false, fmt.Errorf("cell: slot %d: %w", slotIdx, err)
+		}
+		res.ClampEvents += clamps
+	}
+
+	// Phase 3: commit — fused with the next slot's prepare whenever a
+	// next slot exists. The previous static price/rate columns are pinned
+	// first (the commit half prices this slot's deliveries with them),
+	// then the column view moves on to slot n+1 and each shard commits
+	// and re-prepares its users in one pass.
+	if slotIdx+1 < s.cfg.MaxSlots {
+		pprof.SetGoroutineLabels(s.lblFused)
+		s.prevEpkb, s.prevRate = s.cols.EnergyPerKB, s.cols.Rate
+		s.attachSlotColumns(slotIdx + 1)
+		pool.Shard(workers, shards, s.fusedFn)
+		s.collectActive(shards)
+		s.colsSlot = slotIdx + 1
+	} else {
+		pprof.SetGoroutineLabels(s.lblCommit)
+		pool.Shard(workers, shards, s.commFn)
+	}
+
+	// Reduce in shard order: identical addition sequence regardless of
+	// worker count, and — with one shard — identical to the reference
+	// engine's flat per-user accumulation.
+	st := SlotTotals{}
+	var fairNum, fairDen float64
+	var fairCount, retires int
+	for sh := 0; sh < shards; sh++ {
+		acc := &s.shardAcc[sh]
+		if acc.err != nil {
+			return false, fmt.Errorf("cell: user %d slot %d: %w", acc.errUser, slotIdx, acc.err)
+		}
+		st.Rebuffer += acc.rebuffer
+		st.Energy += acc.energy
+		st.UsedUnits += acc.usedUnits
+		fairNum += acc.fairNum
+		fairDen += acc.fairDen
+		fairCount += acc.fairCount
+		s.unfinished -= acc.completions
+		retires += acc.retires
+	}
+	st.Fairness = jain(fairNum, fairDen, fairCount)
+	res.PerSlot = append(res.PerSlot, st)
+	res.Slots = slotIdx + 1
+	if retires > 0 {
+		s.dropRetired()
+	}
+	return false, nil
+}
+
+// collectActive concatenates the per-shard active segments into the
+// slot's active list, in shard order — ascending user index, because the
+// live list is sorted and shards cover consecutive ranges of it.
+func (s *Simulator) collectActive(shards int) {
+	s.activeBuf = s.activeBuf[:0]
+	for sh := 0; sh < shards; sh++ {
+		s.activeBuf = append(s.activeBuf, s.shardAct[sh]...)
+	}
 }
 
 // admit moves users whose StartSlot has arrived from pending onto the
 // live list. Late joiners are backfilled with the zero samples the
-// full-scan engine would have recorded for their pre-start slots.
+// full-scan engine would have recorded for their pre-start slots; when
+// the slot's columns were already prepared by the previous slot's fused
+// pass (which ran before these users were live), their column entries
+// are patched in and the active list is spliced to stay sorted.
 func (s *Simulator) admit(slotIdx int, res *Result) {
 	for len(s.pending) > 0 {
 		i := s.pending[0]
@@ -189,6 +324,12 @@ func (s *Simulator) admit(slotIdx int, res *Result) {
 		}
 		s.pending = s.pending[1:]
 		s.live = insertSorted(s.live, i)
+		if s.colsSlot == slotIdx {
+			if s.prepareColsUser(s.link, slotIdx, i) {
+				s.activeBuf = insertSorted(s.activeBuf, i)
+			}
+			s.alloc[i] = 0
+		}
 		if s.cfg.RecordPerUserSlots {
 			for len(res.RebufferSamples[i]) < slotIdx {
 				res.RebufferSamples[i] = append(res.RebufferSamples[i], 0)

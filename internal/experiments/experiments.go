@@ -191,6 +191,14 @@ type Runner struct {
 	oracleMu    sync.Mutex
 	oracleCache map[string]oracle.Bounds
 
+	// Multi-arm dispatch counters: armGroups is the number of
+	// cell.RunArms lockstep groups executed, groupedRuns the total
+	// simulations that ran inside one (always ≥ 2 per group; singleton
+	// batches fall back to the plain single-arm path and count in
+	// neither).
+	armGroups   atomic.Int64
+	groupedRuns atomic.Int64
+
 	// runCtx holds the context the current parallel suite runs under;
 	// simulate threads it into cell.RunCtx so a cancelled AllParallel
 	// stops in-flight simulations within one slot instead of letting
@@ -252,6 +260,14 @@ func (r *Runner) WorkloadCacheStats() (hits, misses int64) {
 	return r.wlHits, r.wlMisses
 }
 
+// MultiArmStats reports the multi-arm dispatch counters: groups is the
+// number of lockstep cell.RunArms calls the figure sweeps issued, runs
+// the total simulations executed inside them. runs/groups is the mean
+// arm count per workload group.
+func (r *Runner) MultiArmStats() (groups, runs int64) {
+	return r.armGroups.Load(), r.groupedRuns.Load()
+}
+
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
 
@@ -283,10 +299,17 @@ type schedBuilder struct {
 	buildWith func(*sharedWorkload) (sched.Scheduler, error)
 }
 
+// runKey is the result-cache key of one (scenario, scheduler) run. The
+// single-arm and multi-arm paths share it, so a result computed by
+// either satisfies later requests from both.
+func runKey(sc scenario, sb schedBuilder) string {
+	return fmt.Sprintf("%s|n=%d|mb=%g|cdf=%v", sb.key, sc.users, sc.avgSizeMB, sc.recordCDF)
+}
+
 // run executes (or recalls) one simulation. Concurrent callers asking
 // for the same key block until the first caller's simulation finishes.
 func (r *Runner) run(sc scenario, sb schedBuilder) (*cell.Result, error) {
-	key := fmt.Sprintf("%s|n=%d|mb=%g|cdf=%v", sb.key, sc.users, sc.avgSizeMB, sc.recordCDF)
+	key := runKey(sc, sb)
 	for {
 		r.mu.Lock()
 		if res, ok := r.cache[key]; ok {
@@ -313,6 +336,108 @@ func (r *Runner) run(sc scenario, sb schedBuilder) (*cell.Result, error) {
 		close(done)
 		return res, err
 	}
+}
+
+// runBatch executes several scheduler arms over one scenario, in
+// lockstep when possible. Arms already cached are returned from the
+// cache; arms another caller is computing are waited on; the remaining
+// arms are claimed under the singleflight map and dispatched as ONE
+// cell.RunArms group over the scenario's shared workload and link
+// table, so each slot's static physics window is read by every claimed
+// arm while still cache-hot. Results come back in builder order. Every
+// arm's Result is byte-identical to the single-arm r.run — RunArms
+// guarantees it by construction and TestRunBatchMatchesSingle plus the
+// internal/simtest multi-arm matrix pin it — so batched and unbatched
+// sweeps fill the cache with interchangeable results.
+func (r *Runner) runBatch(sc scenario, sbs []schedBuilder) ([]*cell.Result, error) {
+	results := make([]*cell.Result, len(sbs))
+	keys := make([]string, len(sbs))
+	var mine []int // indices this caller claimed
+	r.mu.Lock()
+	for i, sb := range sbs {
+		keys[i] = runKey(sc, sb)
+		if res, ok := r.cache[keys[i]]; ok {
+			results[i] = res
+			continue
+		}
+		if _, busy := r.inflight[keys[i]]; busy {
+			continue // some other caller leads this arm; wait below
+		}
+		r.inflight[keys[i]] = make(chan struct{})
+		mine = append(mine, i)
+	}
+	r.mu.Unlock()
+
+	if len(mine) > 0 {
+		got, err := r.simulateArms(sc, sbs, mine)
+		r.mu.Lock()
+		for j, i := range mine {
+			done := r.inflight[keys[i]]
+			delete(r.inflight, keys[i])
+			if err == nil {
+				r.cache[keys[i]] = got[j]
+				results[i] = got[j]
+			}
+			close(done)
+		}
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Arms led by concurrent callers (or raced into the cache between the
+	// two critical sections): the plain singleflight path waits them out.
+	for i, sb := range sbs {
+		if results[i] != nil {
+			continue
+		}
+		res, err := r.run(sc, sb)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// simulateArms builds one simulator per claimed arm over the scenario's
+// shared workload and runs them: alone via the ordinary single-arm path,
+// together via cell.RunArms lockstep.
+func (r *Runner) simulateArms(sc scenario, sbs []schedBuilder, idx []int) ([]*cell.Result, error) {
+	if len(idx) == 1 {
+		res, err := r.simulate(sc, sbs[idx[0]])
+		if err != nil {
+			return nil, err
+		}
+		return []*cell.Result{res}, nil
+	}
+	cfg := r.opts.Cell
+	cfg.RecordPerUserSlots = sc.recordCDF
+	sw, err := r.workloadFor(sc)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Link = sw.link
+	sims := make([]*cell.Simulator, len(idx))
+	for j, i := range idx {
+		sb := sbs[i]
+		var s sched.Scheduler
+		if sb.buildWith != nil {
+			s, err = sb.buildWith(sw)
+		} else {
+			s, err = sb.build()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if sims[j], err = cell.New(cfg, sw.sessions, s); err != nil {
+			return nil, err
+		}
+	}
+	r.armGroups.Add(1)
+	r.groupedRuns.Add(int64(len(sims)))
+	return cell.RunArmsCtx(r.runContext(), sims)
 }
 
 // workloadFor returns the scenario's shared workload, generating and
@@ -456,13 +581,53 @@ func (r *Runner) rtmaRun(sc scenario, alpha float64) (*cell.Result, *sched.RTMA,
 	return res, built, nil
 }
 
-func (r *Runner) emaRunWithV(sc scenario, v float64) (*cell.Result, error) {
-	return r.run(sc, schedBuilder{
+// rtmaBuilderFor returns the builder for one RTMA budget; the key must
+// match rtmaRun's so batched and single runs share cache entries.
+func (r *Runner) rtmaBuilderFor(alpha float64, budget units.MJ) schedBuilder {
+	return schedBuilder{
+		key: fmt.Sprintf("rtma(a=%g)", alpha),
+		build: func() (sched.Scheduler, error) {
+			return sched.NewRTMA(sched.RTMAConfig{
+				Budget: budget, Radio: r.opts.Cell.Radio, RRC: r.opts.Cell.RRC,
+			})
+		},
+	}
+}
+
+// rtmaBatch runs RTMA at every alpha over one scenario as a lockstep arm
+// group: the budgets all derive from the same Default reference run, so
+// once that run exists every alpha arm is ready and they share the
+// scenario's workload slot for slot. Results come back in alpha order.
+func (r *Runner) rtmaBatch(sc scenario, alphas []float64) ([]*cell.Result, error) {
+	def, err := r.defaultRun(scenario{users: sc.users, avgSizeMB: sc.avgSizeMB})
+	if err != nil {
+		return nil, err
+	}
+	eRef := def.TransEnergyPerActiveSlot()
+	sbs := make([]schedBuilder, len(alphas))
+	for i, a := range alphas {
+		budget, err := sched.BudgetForAlpha(eRef, a)
+		if err != nil {
+			return nil, err
+		}
+		sbs[i] = r.rtmaBuilderFor(a, budget)
+	}
+	return r.runBatch(sc, sbs)
+}
+
+// emaBuilderFor returns the builder for one Lyapunov weight; single and
+// batched EMA runs share cache entries through the identical key.
+func (r *Runner) emaBuilderFor(v float64) schedBuilder {
+	return schedBuilder{
 		key: fmt.Sprintf("ema(v=%.6g)", v),
 		build: func() (sched.Scheduler, error) {
 			return sched.NewEMA(sched.EMAConfig{V: v, RRC: r.opts.Cell.RRC})
 		},
-	})
+	}
+}
+
+func (r *Runner) emaRunWithV(sc scenario, v float64) (*cell.Result, error) {
+	return r.run(sc, r.emaBuilderFor(v))
 }
 
 // calibrateV finds the largest V in [VMin, VMax] whose measured average

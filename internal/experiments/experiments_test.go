@@ -552,3 +552,77 @@ func TestWorkloadCacheBitwiseNeutral(t *testing.T) {
 		t.Error("link-table runner recorded no cache hits")
 	}
 }
+
+// TestRunBatchMatchesSingle is the Runner-level differential gate for
+// the multi-arm dispatch: every arm of a lockstep batch must return a
+// Result byte-identical to the same scheduler's single-arm run on a
+// fresh Runner. simtest.SameResults is not imported here (it would
+// cycle); reflect.DeepEqual over the full Result struct is strictly
+// stronger anyway.
+func TestRunBatchMatchesSingle(t *testing.T) {
+	sbs := []schedBuilder{
+		defaultBuilder(), throttlingBuilder(), onOffBuilder(),
+		salsaBuilder(), eStreamerBuilder(),
+	}
+	for _, recordCDF := range []bool{false, true} {
+		rBatch := quickRunner(t)
+		rSingle := quickRunner(t)
+		sc := scenario{users: 4, avgSizeMB: 10, recordCDF: recordCDF}
+		batch, err := rBatch.runBatch(sc, sbs)
+		if err != nil {
+			t.Fatalf("runBatch: %v", err)
+		}
+		groups, runs := rBatch.MultiArmStats()
+		if groups != 1 || runs != int64(len(sbs)) {
+			t.Errorf("cdf=%v: MultiArmStats = (%d, %d), want (1, %d)", recordCDF, groups, runs, len(sbs))
+		}
+		for i, sb := range sbs {
+			single, err := rSingle.run(sc, sb)
+			if err != nil {
+				t.Fatalf("run(%s): %v", sb.key, err)
+			}
+			if !reflect.DeepEqual(batch[i], single) {
+				t.Errorf("cdf=%v: arm %s diverges from its single-arm run", recordCDF, sb.key)
+			}
+		}
+	}
+}
+
+// TestRunBatchReusesCache checks the batch path is cache-transparent:
+// arms already computed singly are returned from the cache (no arm
+// group forms for them), and a batch's results satisfy later single
+// requests without re-simulation.
+func TestRunBatchReusesCache(t *testing.T) {
+	r := quickRunner(t)
+	sc := scenario{users: 4, avgSizeMB: 10}
+	def, err := r.run(sc, defaultBuilder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := r.runBatch(sc, []schedBuilder{defaultBuilder(), throttlingBuilder(), onOffBuilder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != def {
+		t.Error("batch re-simulated a cached arm")
+	}
+	if groups, runs := r.MultiArmStats(); groups != 1 || runs != 2 {
+		t.Errorf("MultiArmStats = (%d, %d), want (1, 2): only the uncached arms group", groups, runs)
+	}
+	size := r.cacheSize()
+	for _, sb := range []schedBuilder{throttlingBuilder(), onOffBuilder()} {
+		if _, err := r.run(sc, sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.cacheSize() != size {
+		t.Errorf("single runs after a batch re-simulated: cache grew %d -> %d", size, r.cacheSize())
+	}
+	// A singleton batch takes the single-arm path: no group forms.
+	if _, err := r.runBatch(sc, []schedBuilder{salsaBuilder()}); err != nil {
+		t.Fatal(err)
+	}
+	if groups, _ := r.MultiArmStats(); groups != 1 {
+		t.Errorf("singleton batch formed an arm group")
+	}
+}

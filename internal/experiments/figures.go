@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jointstream/internal/cell"
+	"jointstream/internal/sched"
 )
 
 // cdfPoints is the resolution of regenerated CDF curves.
@@ -14,17 +15,40 @@ func (r *Runner) cdfScenario() scenario {
 	return scenario{users: r.opts.CDFUsers, avgSizeMB: r.opts.CDFAvgSizeMB, recordCDF: true}
 }
 
+// cdfRTMAPair runs the Fig. 2/3 sample pair — Default and RTMA (α = 1)
+// at the CDF scenario — as one lockstep arm group over the shared
+// workload, after deriving RTMA's budget from the plain (non-recording)
+// Default reference run. The rebuilt RTMA instance only exposes the
+// threshold for figure notes; the simulation used the batched arm.
+func (r *Runner) cdfRTMAPair() (def, rtma *cell.Result, rt *sched.RTMA, err error) {
+	sc := r.cdfScenario()
+	base, err := r.defaultRun(scenario{users: sc.users, avgSizeMB: sc.avgSizeMB})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	budget, err := sched.BudgetForAlpha(base.TransEnergyPerActiveSlot(), 1.0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sb := r.rtmaBuilderFor(1.0, budget)
+	rs, err := r.runBatch(sc, []schedBuilder{defaultBuilder(), sb})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, err := sb.build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rs[0], rs[1], s.(*sched.RTMA), nil
+}
+
 // Fig2 regenerates Figure 2: CDF of the per-slot Jain fairness index,
 // RTMA (α = 1) versus Default, at the CDF scenario. The paper reports
 // RTMA above 0.7 for more than 90% of slots while Default sits below 0.2
 // for about half the slots.
 func (r *Runner) Fig2() (*Figure, error) {
 	sc := r.cdfScenario()
-	def, err := r.defaultRun(sc)
-	if err != nil {
-		return nil, err
-	}
-	rtma, rt, err := r.rtmaRun(sc, 1.0)
+	def, rtma, rt, err := r.cdfRTMAPair()
 	if err != nil {
 		return nil, err
 	}
@@ -56,11 +80,7 @@ func (r *Runner) Fig2() (*Figure, error) {
 // slots under 1.5 s while >20% of Default users suffer >11 s stalls.
 func (r *Runner) Fig3() (*Figure, error) {
 	sc := r.cdfScenario()
-	def, err := r.defaultRun(sc)
-	if err != nil {
-		return nil, err
-	}
-	rtma, _, err := r.rtmaRun(sc, 1.0)
+	def, rtma, _, err := r.cdfRTMAPair()
 	if err != nil {
 		return nil, err
 	}
@@ -118,27 +138,31 @@ func (r *Runner) Fig4a() (*Figure, error) {
 		YLabel: "total rebuffering time per user (s)",
 	}
 	def := Series{Label: "Default"}
+	byAlpha := make([]Series, len(r.opts.Alphas))
+	for i, a := range r.opts.Alphas {
+		byAlpha[i] = Series{Label: fmt.Sprintf("RTMA alpha=%.1f", a)}
+	}
+	// Per scenario: the Default reference first (it sets every alpha's
+	// budget), then all alpha arms as one lockstep group.
 	for _, n := range r.opts.UserCounts {
-		res, err := r.defaultRun(scenario{users: n, avgSizeMB: r.opts.CDFAvgSizeMB})
+		sc := scenario{users: n, avgSizeMB: r.opts.CDFAvgSizeMB}
+		res, err := r.defaultRun(sc)
 		if err != nil {
 			return nil, err
 		}
 		def.X = append(def.X, float64(n))
 		def.Y = append(def.Y, float64(res.MeanRebufferPerUser()))
+		rs, err := r.rtmaBatch(sc, r.opts.Alphas)
+		if err != nil {
+			return nil, err
+		}
+		for i, ar := range rs {
+			byAlpha[i].X = append(byAlpha[i].X, float64(n))
+			byAlpha[i].Y = append(byAlpha[i].Y, float64(ar.MeanRebufferPerUser()))
+		}
 	}
 	fig.Series = append(fig.Series, def)
-	for _, a := range r.opts.Alphas {
-		s := Series{Label: fmt.Sprintf("RTMA alpha=%.1f", a)}
-		for _, n := range r.opts.UserCounts {
-			res, _, err := r.rtmaRun(scenario{users: n, avgSizeMB: r.opts.CDFAvgSizeMB}, a)
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, float64(res.MeanRebufferPerUser()))
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = append(fig.Series, byAlpha...)
 	return fig, nil
 }
 
@@ -152,27 +176,29 @@ func (r *Runner) Fig4b() (*Figure, error) {
 	}
 	users := r.opts.CDFUsers
 	def := Series{Label: "Default"}
+	byAlpha := make([]Series, len(r.opts.Alphas))
+	for i, a := range r.opts.Alphas {
+		byAlpha[i] = Series{Label: fmt.Sprintf("RTMA alpha=%.1f", a)}
+	}
 	for _, mb := range r.opts.AvgSizesMB {
-		res, err := r.defaultRun(scenario{users: users, avgSizeMB: mb})
+		sc := scenario{users: users, avgSizeMB: mb}
+		res, err := r.defaultRun(sc)
 		if err != nil {
 			return nil, err
 		}
 		def.X = append(def.X, mb)
 		def.Y = append(def.Y, float64(res.MeanRebufferPerUser()))
+		rs, err := r.rtmaBatch(sc, r.opts.Alphas)
+		if err != nil {
+			return nil, err
+		}
+		for i, ar := range rs {
+			byAlpha[i].X = append(byAlpha[i].X, mb)
+			byAlpha[i].Y = append(byAlpha[i].Y, float64(ar.MeanRebufferPerUser()))
+		}
 	}
 	fig.Series = append(fig.Series, def)
-	for _, a := range r.opts.Alphas {
-		s := Series{Label: fmt.Sprintf("RTMA alpha=%.1f", a)}
-		for _, mb := range r.opts.AvgSizesMB {
-			res, _, err := r.rtmaRun(scenario{users: users, avgSizeMB: mb}, a)
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, mb)
-			s.Y = append(s.Y, float64(res.MeanRebufferPerUser()))
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = append(fig.Series, byAlpha...)
 	return fig, nil
 }
 
@@ -191,18 +217,23 @@ func (r *Runner) Fig5a() (*Figure, error) {
 		onOffBuilder(),
 	}
 	labels := []string{"Default", "Throttling", "ON-OFF"}
-	for bi, sb := range builders {
-		s := Series{Label: labels[bi]}
-		for _, n := range r.opts.UserCounts {
-			res, err := r.run(scenario{users: n, avgSizeMB: r.opts.CDFAvgSizeMB}, sb)
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, float64(res.MeanRebufferPerUser()))
-		}
-		fig.Series = append(fig.Series, s)
+	series := make([]Series, len(builders))
+	for i, l := range labels {
+		series[i] = Series{Label: l}
 	}
+	// All three independent baselines of a scenario run as one lockstep
+	// group over its shared workload.
+	for _, n := range r.opts.UserCounts {
+		rs, err := r.runBatch(scenario{users: n, avgSizeMB: r.opts.CDFAvgSizeMB}, builders)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range rs {
+			series[i].X = append(series[i].X, float64(n))
+			series[i].Y = append(series[i].Y, float64(res.MeanRebufferPerUser()))
+		}
+	}
+	fig.Series = append(fig.Series, series...)
 	s := Series{Label: "RTMA"}
 	for _, n := range r.opts.UserCounts {
 		res, _, err := r.rtmaRun(scenario{users: n, avgSizeMB: r.opts.CDFAvgSizeMB}, 1.0)

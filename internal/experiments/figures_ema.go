@@ -8,15 +8,35 @@ import (
 	"jointstream/internal/pool"
 )
 
+// cdfEMAPair runs the Fig. 6/7 sample pair — Default and EMA (β = 1) at
+// the CDF scenario — as one lockstep arm group. The calibration ladder
+// stays sequential (each bisection step needs the previous step's
+// measured PC), but it runs on the plain non-recording scenario; only
+// the final recording pair is batched.
+func (r *Runner) cdfEMAPair() (def, ema *cell.Result, v float64, err error) {
+	sc := r.cdfScenario()
+	plain := scenario{users: sc.users, avgSizeMB: sc.avgSizeMB}
+	base, err := r.defaultRun(plain)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	omega := base.PC() // Ω = β·R_Default with β = 1
+	v, err = r.calibrateV(plain, omega)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rs, err := r.runBatch(sc, []schedBuilder{defaultBuilder(), r.emaBuilderFor(v)})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return rs[0], rs[1], v, nil
+}
+
 // Fig6 regenerates Figure 6: CDF of the per-slot Jain fairness index,
 // EMA (β = 1) versus Default.
 func (r *Runner) Fig6() (*Figure, error) {
 	sc := r.cdfScenario()
-	def, err := r.defaultRun(sc)
-	if err != nil {
-		return nil, err
-	}
-	ema, v, err := r.emaRun(sc, 1.0)
+	def, ema, v, err := r.cdfEMAPair()
 	if err != nil {
 		return nil, err
 	}
@@ -48,11 +68,7 @@ func (r *Runner) Fig6() (*Figure, error) {
 // slots below 25 J.
 func (r *Runner) Fig7() (*Figure, error) {
 	sc := r.cdfScenario()
-	def, err := r.defaultRun(sc)
-	if err != nil {
-		return nil, err
-	}
-	ema, v, err := r.emaRun(sc, 1.0)
+	def, ema, v, err := r.cdfEMAPair()
 	if err != nil {
 		return nil, err
 	}
@@ -179,19 +195,27 @@ func (r *Runner) fig9(energy bool) (*Figure, error) {
 		}
 		return float64(res.MeanRebufferPerUser())
 	}
-	for _, sb := range []schedBuilder{defaultBuilder(), salsaBuilder(), eStreamerBuilder()} {
-		label := map[string]string{"default": "Default", "salsa": "SALSA", "estreamer": "EStreamer"}[sb.key]
-		s := Series{Label: label}
-		for _, n := range r.opts.UserCounts {
-			res, err := r.run(scenario{users: n, avgSizeMB: r.opts.CDFAvgSizeMB}, sb)
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, extract(res))
-		}
-		fig.Series = append(fig.Series, s)
+	builders := []schedBuilder{defaultBuilder(), salsaBuilder(), eStreamerBuilder()}
+	series := make([]Series, len(builders))
+	for i, sb := range builders {
+		series[i] = Series{Label: map[string]string{
+			"default": "Default", "salsa": "SALSA", "estreamer": "EStreamer",
+		}[sb.key]}
 	}
+	// The three independent baselines run as one lockstep group per
+	// scenario; only EMA (whose Ω depends on EStreamer's measured
+	// rebuffering) trails behind them.
+	for _, n := range r.opts.UserCounts {
+		rs, err := r.runBatch(scenario{users: n, avgSizeMB: r.opts.CDFAvgSizeMB}, builders)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range rs {
+			series[i].X = append(series[i].X, float64(n))
+			series[i].Y = append(series[i].Y, extract(res))
+		}
+	}
+	fig.Series = append(fig.Series, series...)
 	s := Series{Label: "EMA"}
 	for _, n := range r.opts.UserCounts {
 		res, v, err := r.emaRunOmegaEStreamer(n)

@@ -52,6 +52,39 @@ func Map[T, R any](ctx context.Context, workers int, xs []T, fn func(context.Con
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Serial fast path: with no extra workers granted (budget exhausted,
+	// workers=1, or a single job) the jobs run inline on the caller's
+	// goroutine — no spawn, no channel sends. Semantics match the
+	// fan-out path: jobs run in submission order, the first error or
+	// panic stops the remaining jobs, cancellation is honored between
+	// jobs (the concurrent path checks it between channel sends too).
+	if extra == 0 {
+		results := make([]R, n)
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			var err error
+			func(i int) {
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("pool: job %d panicked: %v", i, p)
+					}
+				}()
+				var r R
+				if r, err = fn(ctx, xs[i]); err != nil {
+					err = fmt.Errorf("pool: job %d: %w", i, err)
+					return
+				}
+				results[i] = r
+			}(i)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
 	results := make([]R, n)
 	jobs := make(chan int)
 	var (

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -126,5 +127,49 @@ func TestShardPartialSumsProperty(t *testing.T) {
 func BenchmarkShardOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Shard(8, 64, func(int) {})
+	}
+}
+
+// BenchmarkShardCrossover pins the serial-vs-parallel crossover behind
+// the engine's smallNSerialCutoff: each tier sweeps one N with a
+// per-user body of a few float ops (comparable to the tick kernels'
+// per-user column work, ~256 users per shard) once inline (workers=1)
+// and once through the goroutine fan-out. Below the crossover the
+// handoff costs more than the work — the "parallel" arm loses or ties —
+// so the engine runs those slots serially; the cutoff (2048) sits at
+// the low end of where the fan-out starts to amortize on multicore
+// boxes (on one core it never does, and the budget collapses both arms
+// to the inline loop anyway).
+func BenchmarkShardCrossover(b *testing.B) {
+	const shardSize = 256
+	for _, n := range []int{512, 1024, 2048, 4096, 16384} {
+		shards := (n + shardSize - 1) / shardSize
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i)
+		}
+		body := func(sh int) {
+			lo, hi := sh*n/shards, (sh+1)*n/shards
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += data[i] * 1.0001
+				data[i] = acc * 0.5
+			}
+		}
+		for _, arm := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			workers := arm.workers
+			if workers == 0 {
+				workers = shards
+			}
+			b.Run(fmt.Sprintf("N=%d/%s", n, arm.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Shard(workers, shards, body)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/user")
+			})
+		}
 	}
 }

@@ -29,11 +29,14 @@ import (
 // The per-slot subproblem is the multi-choice knapsack of Alg. 2. Because
 // f(i, ϕ) is affine in ϕ for ϕ ≥ 1 (only the ϕ = 0 tail branch breaks the
 // line), the DP's inner minimization is a sliding-window minimum and the
-// default solver runDP runs in O(users × capacity) with a monotone deque —
-// see DESIGN.md §4, "Fast EMA DP". The paper-literal O(users × capacity²)
-// DP is kept as runDPRef and exposed through AllocateRef; the two are
-// differentially tested (internal/simtest, TestEMAFastMatchesRef) to
-// return objective-identical allocations.
+// default solver runDP runs in O(users × capacity) using the block-minima
+// kernel in ema_kernel.go — see DESIGN.md §4, "Fast EMA DP", and §10 for
+// the kernel. The previous monotone-deque solver is kept as runDPDeque
+// (allocation-identical, asserted), and the paper-literal
+// O(users × capacity²) DP as runDPRef, exposed through AllocateDeque /
+// AllocateRef; the arms are differentially tested (internal/simtest,
+// TestEMAFastMatchesRef; sched's TestEMABlockMatchesDeque) so the fast
+// path is pinned both in objective and bit-for-bit in allocation.
 //
 // The weight V trades energy against rebuffering: Theorem 1 bounds
 // PE ≤ E* + B/V and PC ≤ (B + V·E*)/ε, so larger V saves more energy at
@@ -47,12 +50,18 @@ type EMA struct {
 	queues []units.Seconds // PC_i virtual queues, grown on demand
 
 	// tailDrained caches rrc.TailDrainedAfter so the common "tail long
-	// gone" skip cost is a single compare; tailMemo caches the nonzero
-	// E(gap+τ)−E(gap) increments, which repeat across slots because gaps
-	// advance in multiples of τ. The memo stays bounded: only gaps inside
-	// the tail window are inserted.
+	// gone" skip cost is a single compare. tailVals/tailKeys memoize the
+	// nonzero E(gap+τ)−E(gap) increments, which repeat across slots
+	// because gaps advance in multiples of τ: entry k serves
+	// gap ≈ k·τ, with the exact gap stored in tailKeys so a rounding
+	// collision recomputes instead of returning a neighbor's value. The
+	// memo stays bounded: only gaps inside the tail window are inserted,
+	// and the index is capped at maxTailMemo. tailTau is the τ the table
+	// was built for; a different τ flushes it.
 	tailDrained units.Seconds
-	tailMemo    map[tailKey]float64
+	tailVals    []float64
+	tailKeys    []units.Seconds
+	tailTau     units.Seconds
 
 	// DP scratch, reused across slots.
 	cost    []float64 // a[·]: best objective for exactly M units used
@@ -62,11 +71,14 @@ type EMA struct {
 	dpBound int        // active-count bound for scratch growth this slot
 	dqJ     []int32    // deque scratch: candidate predecessor states j
 	dqG     []float64  // deque scratch: g[j] = cost[j] − perUnit·j
-	act     []int      // ActiveIndices fallback scratch
+	blk     emaBlockScratch
+	act     []int // ActiveIndices fallback scratch
 }
 
-// tailKey identifies one memoized tail-energy increment.
-type tailKey struct{ gap, tau units.Seconds }
+// maxTailMemo bounds the tail-increment memo: gaps beyond this many slot
+// widths are computed directly (they are rare — the drained short-circuit
+// already serves long-idle users).
+const maxTailMemo = 4096
 
 // EMAConfig configures EMA.
 type EMAConfig struct {
@@ -128,22 +140,39 @@ func (e *EMA) ensureQueues(n int) {
 }
 
 // tailIncrement returns E_tail(gap+τ) − E_tail(gap), memoized. Gaps at or
-// beyond the drained point short-circuit to zero without touching the map,
-// which both serves the common long-idle case and bounds the memo to the
-// O(T1+T2 / τ) distinct in-tail gaps.
+// beyond the drained point short-circuit to zero without touching the
+// memo, which both serves the common long-idle case and bounds the memo
+// to the O(T1+T2 / τ) distinct in-tail gaps. The memo is a slice indexed
+// by round(gap/τ) — gaps advance in multiples of τ, so the index is
+// exact in practice; the stored key makes a collision recompute rather
+// than mis-serve.
 func (e *EMA) tailIncrement(gap, tau units.Seconds) float64 {
 	if gap >= e.tailDrained {
 		return 0
 	}
-	k := tailKey{gap, tau}
-	if v, ok := e.tailMemo[k]; ok {
-		return v
+	if tau <= 0 {
+		return float64(e.rrc.TailIncrement(gap, tau))
+	}
+	if tau != e.tailTau {
+		e.tailTau = tau
+		for i := range e.tailKeys {
+			e.tailKeys[i] = -1
+		}
+	}
+	k := int(float64(gap)/float64(tau) + 0.5)
+	if k < 0 || k >= maxTailMemo {
+		return float64(e.rrc.TailIncrement(gap, tau))
+	}
+	for len(e.tailKeys) <= k {
+		e.tailKeys = append(e.tailKeys, -1)
+		e.tailVals = append(e.tailVals, 0)
+	}
+	if e.tailKeys[k] == gap {
+		return e.tailVals[k]
 	}
 	v := float64(e.rrc.TailIncrement(gap, tau))
-	if e.tailMemo == nil {
-		e.tailMemo = make(map[tailKey]float64)
-	}
-	e.tailMemo[k] = v
+	e.tailKeys[k] = gap
+	e.tailVals[k] = v
 	return v
 }
 
@@ -171,11 +200,20 @@ func (e *EMA) Allocate(slot *Slot, alloc []int) {
 }
 
 // AllocateRef is Allocate with the paper-literal quadratic DP (runDPRef)
-// in place of the deque fast path. It exists as the reference arm of the
+// in place of the block fast path. It exists as the reference arm of the
 // differential tests and fuzz targets in internal/simtest; both paths
 // must produce allocations with identical objective value.
 func (e *EMA) AllocateRef(slot *Slot, alloc []int) {
 	e.allocate(slot, alloc, (*EMA).runDPRef)
+}
+
+// AllocateDeque is Allocate with the monotone-deque DP (runDPDeque), the
+// previous fast path. It exists as a second differential arm: the block
+// kernel in ema_kernel.go must reproduce the deque's allocations bit for
+// bit (not merely objective-identical), which the property tests in
+// internal/simtest assert.
+func (e *EMA) AllocateDeque(slot *Slot, alloc []int) {
+	e.allocate(slot, alloc, (*EMA).runDPDeque)
 }
 
 func (e *EMA) allocate(slot *Slot, alloc []int, dp func(*EMA, *Slot, []int, int)) {
@@ -291,14 +329,50 @@ func (e *EMA) finishDP(alloc []int, n, capacity int) {
 //
 //	base + perUnit·m + min_{j ∈ [m−maxPhi, m−1]} (cost[j] − perUnit·j),
 //
-// a sliding-window minimum over g[j] = cost[j] − perUnit·j. The window
-// advances with m, so a monotone deque answers every query in amortized
-// O(1): each state j is pushed and popped at most once per user. The
-// deque prefers the largest j (smallest ϕ) on ties in g, matching
-// runDPRef's smallest-ϕ tie-breaking. Unreachable states (cost = +Inf)
-// are never pushed, preserving the reference's exact infeasibility
-// semantics.
+// a sliding-window minimum over g[j] = cost[j] − perUnit·j, answered by
+// the branch-regular block kernel in ema_kernel.go (emaUserPass). The
+// kernel prefers the largest j (smallest ϕ) on ties in g, matching
+// runDPRef's smallest-ϕ tie-breaking, and reproduces the monotone-deque
+// pass (runDPDeque) bit for bit — internal/simtest asserts allocation
+// identity across all three solvers.
 func (e *EMA) runDP(slot *Slot, alloc []int, capacity int) {
+	n := len(e.dpUser)
+	e.prepareDP(n, capacity)
+
+	// The kernel writes only states up to the running reachability bound
+	// Σ maxPhi; everything above must already hold the MaxFloat64
+	// unreachable sentinel in BOTH ping-pong rows (prepareDP seeds one,
+	// this seeds the other), or stale finite values from the previous
+	// slot would leak into finishDP's argmin.
+	for m := 1; m <= capacity; m++ {
+		e.next[m] = math.MaxFloat64
+	}
+
+	reach := 0
+	for k, idx := range e.dpUser {
+		l := e.line(slot, idx, capacity)
+		// States above Σ maxPhi so far are unreachable for every later
+		// row too (reach is monotone), so the kernel can stop there —
+		// early users with small link bounds cost O(reach), not
+		// O(capacity).
+		reach += l.maxPhi
+		if reach > capacity {
+			reach = capacity
+		}
+		emaUserPass(e.cost[:capacity+1], e.next[:capacity+1], e.choice[k], l, &e.blk, reach)
+		e.cost, e.next = e.next, e.cost
+	}
+	e.finishDP(alloc, n, capacity)
+}
+
+// runDPDeque is the previous fast path: the same sliding-window minimum
+// answered with a monotone deque, amortized O(1) per state. Each state j
+// is pushed and popped at most once per user; the deque prefers the
+// largest j (smallest ϕ) on ties in g via ≥-eviction, and unreachable
+// states (cost = MaxFloat64) are never pushed, preserving the
+// reference's exact infeasibility semantics. Kept as the middle arm of
+// the three-way differential tests gating the block kernel.
+func (e *EMA) runDPDeque(slot *Slot, alloc []int, capacity int) {
 	n := len(e.dpUser)
 	e.prepareDP(n, capacity)
 	e.dqJ = resizeI32(e.dqJ, capacity+1)

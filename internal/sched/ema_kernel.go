@@ -1,0 +1,217 @@
+package sched
+
+// This file holds the EMA DP's per-user inner kernel: a fused
+// Van Herk–Gil-Werman sliding-window minimum that replaces the monotone
+// deque of the original fast path. The deque is amortized O(1) per state
+// but its pushes and evictions are data-dependent branches over
+// data-dependent indices, which both mispredict and defeat bounds-check
+// elimination. The fused kernel does the same O(states) work in
+// branch-regular block-local loops: the window's prefix half is a pair of
+// running scalars, the suffix half a ≤w-entry buffer recomputed per block
+// (L1-resident), and the only full-width arrays touched per state are the
+// DP rows themselves.
+//
+// The bce-check CI job (scripts/bce_check.sh) builds this package with
+// `-gcflags='-d=ssa/check_bce'` and fails if any per-element
+// `Found IsInBounds` reappears in this file; the once-per-block slice
+// headers may report IsSliceInBounds. Keep every loop range-bounded when
+// editing.
+//
+// Window semantics (see runDP's doc comment): for each state m the
+// transition needs min over j ∈ [max(0, m−maxPhi), m−1] of
+// g[j] = cost[j] − perUnit·j, argmin resolved to the LARGEST j (smallest
+// ϕ), exactly matching the deque's ≥-eviction tie rule. With block width
+// w = maxPhi and hi = m−1:
+//
+//   - block 0 (hi < w): the window is the prefix [0, hi], answered by the
+//     running prefix min alone;
+//   - later blocks, hi at the block end (k = w−1): the window is exactly
+//     hi's full block, again the running prefix min alone;
+//   - otherwise: the window spans a suffix of the previous block
+//     (sufPrev[k+1]) plus the prefix [bs, hi] of the current one,
+//     combined preferring the prefix — the larger-j side — on ties.
+//
+// Unreachable states carry cost = MaxFloat64; their g stays ≈MaxFloat64
+// (perUnit·j is astronomically below one ULP of MaxFloat64), loses every
+// min comparison against a finite g, and when every window entry is
+// unreachable the MaxFloat64 candidate fails the strict `< best` test —
+// bit-for-bit the deque's never-pushed semantics.
+
+// emaBlockScratch is the kernel's reusable scratch, one instance per EMA.
+// All four buffers are block-sized (≤ maxPhi+1 entries), not
+// capacity-sized: they hold one block of g values and the suffix minima
+// of the previous and current blocks.
+type emaBlockScratch struct {
+	g     []float64 // g values of the current block
+	sufA  []float64 // suffix minima, previous block
+	sufB  []float64 // suffix minima, current block (swapped into sufA)
+	sufAJ []int32   // argmin (absolute j) for sufA
+	sufBJ []int32   // argmin (absolute j) for sufB
+}
+
+func (b *emaBlockScratch) grow(w int) {
+	// One spare entry past w: the k = w−1 (full-block) lane never reads
+	// sufPrev, but sizing the buffers w+1 hands the bounds-check prover
+	// the k+1 ≤ w < len fact without an extra branch.
+	b.g = resize(b.g, w+1)
+	b.sufA = resize(b.sufA, w+1)
+	b.sufB = resize(b.sufB, w+1)
+	b.sufAJ = resizeI32(b.sufAJ, w+1)
+	b.sufBJ = resizeI32(b.sufBJ, w+1)
+}
+
+// emaUserPass runs one user's DP transition: given the incoming cost row,
+// it fills next[m] for m ∈ [0, mHi] with the outgoing row and choice[m]
+// with the units granted at each state. mHi is the caller's reachability
+// bound: states above it are unreachable both before and after this user,
+// so their row entries are already MaxFloat64 and stay untouched.
+// Behaviorally identical — including every tie and every unreachable
+// state — to the deque pass in runDPDeque and the quadratic pass in
+// runDPRef.
+func emaUserPass(cost, next []float64, choice []uint16, l userLine, b *emaBlockScratch, mHi int) {
+	if mHi >= len(cost) {
+		mHi = len(cost) - 1
+	}
+	if mHi < 0 {
+		return
+	}
+	cost = cost[:mHi+1]
+	next = next[:mHi+1]
+	choice = choice[:mHi+1]
+	w := l.maxPhi
+	if w < 1 {
+		// DP participants are filtered on MaxUnitsAt > 0, so maxPhi ≥ 1
+		// always; the clamp is never taken and exists to hand the
+		// bounds-check prover a w ≥ 1 fact for the loops below.
+		w = 1
+	}
+	b.grow(w)
+	gBuf := b.g[:w+1]
+	sufPrev := b.sufA[:w+1]
+	sufPrevJ := b.sufAJ[:w+1]
+	sufCur := b.sufB[:w+1]
+	sufCurJ := b.sufBJ[:w+1]
+
+	next[0] = cost[0] + l.skip
+	choice[0] = 0
+
+	// preG/preJ: running minimum of g over [bs, hi], largest j on ties
+	// (≤ keeps the later index) — the prefix half of every window.
+	var preG float64
+	var preJ int32
+
+	for bs := 0; bs < mHi; bs += w {
+		be := bs + w
+		if be > mHi {
+			be = mHi
+		}
+		// hi ∈ [bs, be), m = hi+1 ∈ [bs+1, be]; block-local k = hi−bs.
+		blockLen := be - bs
+		if blockLen > w {
+			// Never taken (be ≤ bs+w by construction); hands the prover
+			// the blockLen ≤ w fact directly.
+			blockLen = w
+		}
+		gB := gBuf[:blockLen]
+		costB := cost[bs:be]
+		costB = costB[:len(gB)]
+		costM := cost[bs+1 : be+1] // costM[k] = cost[m], m = hi+1
+		costM = costM[:len(gB)]
+		nextB := next[bs+1 : be+1]
+		nextB = nextB[:len(gB)]
+		choiceB := choice[bs+1 : be+1]
+		choiceB = choiceB[:len(gB)]
+		if bs == 0 {
+			// Block 0: every window is the clamped prefix [0, hi].
+			for k := range gB {
+				hi := k
+				g := costB[k] - l.perUnit*float64(hi)
+				gB[k] = g
+				if k == 0 || g <= preG {
+					preG = g
+					preJ = int32(hi)
+				}
+				m := hi + 1
+				// ϕ = 0 branch. Unreachable states (cost = MaxFloat64)
+				// keep their sentinel: |skip| is far below one ULP of
+				// MaxFloat64, so the sum rounds back to exactly
+				// MaxFloat64 — the value the deque pass assigns via its
+				// explicit reachability guard.
+				best := costM[k] + l.skip
+				var bestPhi uint16
+				if c := l.base + l.perUnit*float64(m) + preG; c < best {
+					best = c
+					bestPhi = uint16(int32(m) - preJ)
+				}
+				nextB[k] = best
+				choiceB[k] = bestPhi
+			}
+		} else {
+			// The suffix buffers are written pre-shifted (entry k holds
+			// the previous block's suffix minimum from relative offset
+			// k+1), so lane k reads sp[k] and reslicing to len(gB) makes
+			// every access provably in range.
+			sp := sufPrev[:len(gB)]
+			spJ := sufPrevJ[:len(gB)]
+			for k := range gB {
+				hi := bs + k
+				g := costB[k] - l.perUnit*float64(hi)
+				gB[k] = g
+				if k == 0 || g <= preG {
+					preG = g
+					preJ = int32(hi)
+				}
+				// Window [hi−w+1, hi]: prefix half [bs, hi] is the running
+				// min; the suffix half [hi−w+1, bs−1] is the previous
+				// block's pre-shifted suffix minimum sp[k] (empty exactly
+				// when k = w−1, the full-block lane — pre wins there
+				// because the full block IS the prefix). Strict < keeps
+				// the pre — larger-j — side on ties.
+				winG := preG
+				winJ := preJ
+				if k != w-1 {
+					if sG := sp[k]; sG < winG {
+						winG = sG
+						winJ = spJ[k]
+					}
+				}
+				m := hi + 1
+				// ϕ = 0 branch: see block 0.
+				best := costM[k] + l.skip
+				var bestPhi uint16
+				if c := l.base + l.perUnit*float64(m) + winG; c < best {
+					best = c
+					bestPhi = uint16(int32(m) - winJ)
+				}
+				nextB[k] = best
+				choiceB[k] = bestPhi
+			}
+		}
+		// Suffix minima of this block, consumed by the next one: backward
+		// scan, largest j on ties (strict < keeps the earlier-seen,
+		// larger index). Stored pre-shifted by one — entry k−1 holds the
+		// minimum over relative offsets [k, blockLen) — because the next
+		// block's lane k consumes the suffix starting at offset k+1
+		// (offset 0 is never a window member there).
+		if be < mHi {
+			curG := 0.0
+			curJ := int32(0)
+			first := true
+			sufB := sufCur[:len(gB)]
+			sufBJ := sufCurJ[:len(gB)]
+			for k := len(gB) - 1; k >= 0; k-- {
+				if first || gB[k] < curG {
+					curG = gB[k]
+					curJ = int32(bs + k)
+					first = false
+				}
+				if k > 0 {
+					sufB[k-1] = curG
+					sufBJ[k-1] = curJ
+				}
+			}
+			sufPrev, sufCur = sufCur, sufPrev
+			sufPrevJ, sufCurJ = sufCurJ, sufPrevJ
+		}
+	}
+}

@@ -40,8 +40,9 @@ type RTMA struct {
 	order rtmaOrder
 
 	// scratch reused across slots to avoid per-slot allocation.
-	keys []rtmaKey // this slot's candidates, ascending user index
-	work []rtmaKey // water-filling window (mutated; the order stays intact)
+	keys     []rtmaKey   // this slot's candidates, ascending user index
+	work     []rtmaWork  // water-filling items (banked got/max state)
+	liveWork []*rtmaWork // the rounds' compacting window into work
 	zero []int     // admitted zero-need users, served from the spare-capacity drain
 	act  []int     // ActiveIndices fallback scratch
 }
@@ -190,43 +191,30 @@ func (r *RTMA) Allocate(slot *Slot, alloc []int) {
 	sorted := r.order.update(r.keys)
 
 	remaining := slot.CapacityUnits
-	// Steps 4–15: rounds of need-sized increments until the capacity or
-	// all per-user link bounds are exhausted. Saturated users are
-	// compacted out of the live window so late rounds touch only users
-	// that can still grow; every live user receives ≥ 1 unit per round,
-	// so the rounds always terminate. The compaction mutates the window,
-	// so it runs on a scratch copy — the persistent sorted order must
-	// survive intact for the next slot's incremental repair.
-	r.work = append(r.work[:0], sorted...)
-	live := r.work
-	for remaining > 0 && len(live) > 0 {
-		w := 0
-		for _, k := range live {
-			if remaining == 0 {
-				break
-			}
-			i := int(k.idx)
-			max := slot.MaxUnitsAt(i)
-			// ϕ_sup: what the link and base station still support (step 7).
-			sup := max - alloc[i]
-			if sup > remaining {
-				sup = remaining
-			}
-			if sup <= 0 {
-				continue
-			}
-			grant := int(k.need)
-			if grant > sup {
-				grant = sup // step 11: partial grant
-			}
-			alloc[i] += grant
-			remaining -= grant
-			if alloc[i] < max {
-				live[w] = k
-				w++
-			}
-		}
-		live = live[:w]
+	// Steps 4–15: the water-filling rounds (rtma_kernel.go). Each
+	// candidate's mutable state is banked into its work item — got seeds
+	// from the caller's alloc and max caches the link bound — so the
+	// rounds run over a compact struct slice with no indexed loads, and
+	// the final grants scatter into alloc once. The kernel compacts its
+	// own window, so it runs on a scratch copy — the persistent sorted
+	// order must survive intact for the next slot's incremental repair.
+	r.work = r.work[:0]
+	for _, k := range sorted {
+		i := int(k.idx)
+		r.work = append(r.work, rtmaWork{
+			idx: k.idx, need: k.need,
+			got: int32(alloc[i]), max: int32(slot.MaxUnitsAt(i)),
+		})
+	}
+	// The pointer window is built only after work stops growing (appends
+	// may move the backing array).
+	r.liveWork = r.liveWork[:0]
+	for j := range r.work {
+		r.liveWork = append(r.liveWork, &r.work[j])
+	}
+	remaining = waterfillRounds(r.liveWork, remaining)
+	for _, k := range r.work {
+		alloc[k.idx] = int(k.got)
 	}
 	// Spare-capacity drain: zero-need users absorb whatever the needy
 	// ones left, in index order.

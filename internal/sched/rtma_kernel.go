@@ -1,0 +1,79 @@
+package sched
+
+// This file holds RTMA's water-filling inner kernel. Alg. 1's rounds
+// originally granted through alloc[k.idx] — a data-dependent scatter per
+// grant, re-read every round — so each round paid a bounds check and a
+// cache-line touch per live user across the whole alloc array. The
+// kernel instead banks each candidate's mutable state (granted units and
+// link cap) inside its 16-byte work item: the rounds iterate a compact
+// contiguous struct slice with no indexed loads at all, and the caller
+// scatters the final grants into alloc once after the rounds converge.
+//
+// The bce-check CI job (scripts/bce_check.sh) builds this package with
+// `-gcflags='-d=ssa/check_bce'` and fails if any per-element
+// `Found IsInBounds` reappears in this file. The single indexed write —
+// the saturation compaction live[w] — is guarded by an unsigned
+// `uint(w) < uint(len(live))` branch, which is always true (w advances
+// at most once per iteration, so 0 ≤ w ≤ j < len(live)) and exists to
+// hand the prover both bounds of the store directly; the once-per-round
+// live[:w] reslice may report IsSliceInBounds.
+
+// rtmaWork is one live candidate of the water-filling rounds: the
+// persistent sort key's user index and per-slot need, plus the banked
+// mutable state (units granted so far, link/station cap).
+type rtmaWork struct {
+	idx  int32 // user index, for the final scatter into alloc
+	need int32 // step 9's need-sized increment
+	got  int32 // units granted so far (seeded from the caller's alloc)
+	max  int32 // ϕ_sup upper bound: MaxUnitsAt(idx)
+}
+
+// waterfillRounds runs Alg. 1 steps 4–15 over the live window: rounds of
+// need-sized increments until the capacity or every per-user link bound
+// is exhausted, with saturated items compacted out of the window so late
+// rounds touch only users that can still grow. Every live item receives
+// ≥ 1 unit per round (sup ≥ 1 whenever it stays live and remaining > 0),
+// so the rounds always terminate. The window holds POINTERS into the
+// caller's work array: grants accumulate through them, so an item's got
+// stays authoritative after it leaves the window (the window compacts in
+// place — a by-value window would overwrite saturated items' final
+// state). Pointer dereferences carry no bounds checks, and the pointers
+// walk one contiguous array in sorted order, so the access pattern is
+// the same forward sweep the by-value loop had. The remaining capacity
+// is returned. Operation-for-operation identical to the pre-kernel loop,
+// which read and wrote alloc[i] in place — got mirrors alloc[i] exactly.
+func waterfillRounds(live []*rtmaWork, remaining int) int {
+	for remaining > 0 && len(live) > 0 {
+		w := 0
+		for j := 0; j < len(live); j++ {
+			if remaining == 0 {
+				break
+			}
+			k := live[j]
+			// ϕ_sup: what the link and base station still support (step 7).
+			sup := int(k.max) - int(k.got)
+			if sup > remaining {
+				sup = remaining
+			}
+			if sup <= 0 {
+				continue
+			}
+			grant := int(k.need)
+			if grant > sup {
+				grant = sup // step 11: partial grant
+			}
+			k.got += int32(grant)
+			remaining -= grant
+			if k.got < k.max && uint(w) < uint(len(live)) {
+				// w ≤ j < len(live) always. The unsigned compare proves
+				// both bounds of the store at once; the prover does not
+				// carry w ≥ 0 through the loop phi, so the plain signed
+				// `w < len(live)` guard leaves the check in place.
+				live[w] = k
+				w++
+			}
+		}
+		live = live[:w]
+	}
+	return remaining
+}

@@ -1,0 +1,168 @@
+package simtest
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/rng"
+	"jointstream/internal/units"
+)
+
+// armModels are the trace models of the multi-arm matrix: the paper's
+// all-start-at-zero arrivals, staggered late joiners (admission and
+// retirement fire mid-run), and the staggered workload again on the
+// interface link path (no compiled table), which forces the engine off
+// the dense link kernels.
+func armModels() []struct {
+	name   string
+	inter  units.Seconds
+	noLink bool
+} {
+	return []struct {
+		name   string
+		inter  units.Seconds
+		noLink bool
+	}{
+		{name: "zero-start"},
+		{name: "staggered", inter: 8},
+		{name: "nolink", inter: 8, noLink: true},
+	}
+}
+
+// TestMultiArmMatchesSingle is the lockstep engine's differential gate:
+// for every scheduler in the repo, every trace model, and worker counts
+// 1, 4 and GOMAXPROCS, the Result an arm produces inside a RunArms
+// group must be byte-identical to the Result the same configuration
+// produces alone through RunCtx. The arms share the sessions and (when
+// compiled) the link table, exactly like the experiment harness's
+// batched dispatch.
+func TestMultiArmMatchesSingle(t *testing.T) {
+	fac := factories(t)
+	names := make([]string, 0, len(fac))
+	for name := range fac {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, model := range armModels() {
+		wl, err := StaggeredWorkload(41, 6, model.inter)
+		if err != nil {
+			t.Fatalf("%s: workload: %v", model.name, err)
+		}
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			cfg := engineCfg()
+			cfg.Workers = workers
+			if model.noLink {
+				cfg.LinkTableMaxRows = -1
+			}
+			sims := make([]*cell.Simulator, len(names))
+			for i, name := range names {
+				if sims[i], err = cell.New(cfg, wl, fac[name]()); err != nil {
+					t.Fatalf("%s/%s: New: %v", model.name, name, err)
+				}
+			}
+			group, err := cell.RunArms(sims)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: RunArms: %v", model.name, workers, err)
+			}
+			for i, name := range names {
+				single, err := cell.New(cfg, wl, fac[name]())
+				if err != nil {
+					t.Fatalf("%s/%s: New: %v", model.name, name, err)
+				}
+				want, err := single.Run()
+				if err != nil {
+					t.Fatalf("%s/%s: Run: %v", model.name, name, err)
+				}
+				if err := SameResults(group[i], want); err != nil {
+					t.Errorf("%s/workers=%d/%s: lockstep arm diverges from single run: %v",
+						model.name, workers, name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRunArmsOrderInvariance is the arm-order property: permuting the
+// arms of a RunArms group never changes any arm's Result. Each arm owns
+// its state and executes the same per-slot sequence regardless of
+// position, so the only way order could leak in is through unintended
+// sharing — which this test would catch as a divergence.
+func TestRunArmsOrderInvariance(t *testing.T) {
+	fac := factories(t)
+	names := make([]string, 0, len(fac))
+	for name := range fac {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		users := 2 + src.Intn(8)
+		var inter units.Seconds
+		if src.Bool(0.5) {
+			inter = units.Seconds(src.Uniform(1, 10))
+		}
+		wl, err := StaggeredWorkload(seed, users, inter)
+		if err != nil {
+			t.Logf("seed %d: workload: %v", seed, err)
+			return false
+		}
+		// Pick 2-5 arms and a random permutation of them.
+		k := 2 + src.Intn(4)
+		pick := src.Perm(len(names))[:k]
+		picked := make([]string, k)
+		for i, p := range pick {
+			picked[i] = names[p]
+		}
+		perm := src.Perm(k)
+
+		cfg := engineCfg()
+		run := func(order []string) (map[string]*cell.Result, error) {
+			sims := make([]*cell.Simulator, len(order))
+			for i, name := range order {
+				var err error
+				if sims[i], err = cell.New(cfg, wl, fac[name]()); err != nil {
+					return nil, err
+				}
+			}
+			rs, err := cell.RunArms(sims)
+			if err != nil {
+				return nil, err
+			}
+			byName := make(map[string]*cell.Result, len(order))
+			for i, name := range order {
+				byName[name] = rs[i]
+			}
+			return byName, nil
+		}
+
+		base, err := run(picked)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		shuffled := make([]string, k)
+		for i, p := range perm {
+			shuffled[i] = picked[p]
+		}
+		got, err := run(shuffled)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, name := range picked {
+			if err := SameResults(got[name], base[name]); err != nil {
+				t.Logf("seed %d: arm %s changed under permutation %v: %v", seed, name, perm, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(8)); err != nil {
+		t.Error(err)
+	}
+}
