@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"jointstream/internal/cell"
+	"jointstream/internal/deploy"
 	"jointstream/internal/experiments"
 	"jointstream/internal/rng"
 	"jointstream/internal/rrc"
@@ -358,6 +359,57 @@ func BenchmarkRTMAAllocate10kUsers(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchAllocLargeN(b, rt, 10_000)
+}
+
+// --- fleet benchmarks (streaming multi-cell runner) ------------------
+
+// benchFleet runs the epoch-clocked streaming deployment: tiled link
+// tables, stateless signal traces, per-cell serial engines under the
+// site fan-out. The "ms/epoch" metric is what the perf gate tracks —
+// wall time per lockstep barrier across the whole fleet.
+func benchFleet(b *testing.B, users, cells, slots, tile int) {
+	cfg := workload.PaperDefaults(users)
+	cfg.StatelessSignal = true
+	wl, err := workload.Generate(cfg, rng.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep := deploy.Config{Policy: deploy.RoundRobin, Stream: true, EpochSlots: 64}
+	for i := 0; i < cells; i++ {
+		c := cell.PaperConfig()
+		c.MaxSlots = slots
+		c.RunFullHorizon = true
+		c.Workers = 1
+		c.LinkTileSlots = tile
+		dep.Sites = append(dep.Sites, deploy.Site{Name: "cell", Cell: c})
+	}
+	epochs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := deploy.Run(context.Background(), dep, wl, func() (sched.Scheduler, error) {
+			return sched.NewDefault(), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fleet == nil || res.Fleet.Users != users {
+			b.Fatalf("fleet run folded %d users, want %d", res.Fleet.Users, users)
+		}
+		epochs += res.Fleet.Epochs
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(epochs), "ms/epoch")
+}
+
+// BenchmarkFleet measures the streaming fleet runner. The gated tier is
+// small enough for CI; the big tiers reproduce results/BENCH_fleet.json
+// territory and only run when JOINTSTREAM_FLEET_SCALE is set.
+func BenchmarkFleet(b *testing.B) {
+	b.Run("u50000_c16", func(b *testing.B) { benchFleet(b, 50_000, 16, 128, 32) })
+	if os.Getenv("JOINTSTREAM_FLEET_SCALE") == "" {
+		return
+	}
+	b.Run("u200000_c64", func(b *testing.B) { benchFleet(b, 200_000, 64, 256, 64) })
+	b.Run("u1000000_c256", func(b *testing.B) { benchFleet(b, 1_000_000, 256, 512, 64) })
 }
 
 // --- ablation benches (DESIGN.md, Design choices) --------------------

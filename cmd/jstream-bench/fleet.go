@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"jointstream/internal/cell"
+	"jointstream/internal/deploy"
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// This file implements the fleet benchmark mode: -fleet runs the
+// epoch-clocked streaming multi-cell runner at configurable scale
+// (results/BENCH_fleet.json is the checked-in 1M-user × 256-cell
+// baseline) and writes a JSON report with per-epoch wall time and the
+// heap high-water mark. The high-water mark is the headline number: the
+// tiled link tables bound resident link-row memory by
+// cells × users/cell × tile × 36 B instead of the monolithic
+// cells × users/cell × slots × 36 B, so the report shows fleet horizons
+// that would not fit in memory at all without tiling.
+//
+// -fleetcheck additionally re-runs the same deployment in retained mode
+// and asserts the streaming totals match exactly — the differential the
+// CI fleet-smoke job executes at reduced scale on every push.
+
+// fleetReport is the JSON document -fleet writes.
+type fleetReport struct {
+	Users      int    `json:"users"`
+	Cells      int    `json:"cells"`
+	Slots      int    `json:"slots"`
+	EpochSlots int    `json:"epoch_slots"`
+	TileSlots  int    `json:"tile_slots"`
+	Cores      int    `json:"cores"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Scheduler  string `json:"scheduler"`
+
+	Epochs        int     `json:"epochs"`
+	WallSec       float64 `json:"wall_sec"`
+	MsPerEpochAvg float64 `json:"ms_per_epoch_avg"`
+	MsPerEpochMax float64 `json:"ms_per_epoch_max"`
+	// HeapHighWaterMB is the largest live-heap sample observed at an
+	// epoch barrier (runtime.ReadMemStats HeapAlloc), the bounded-memory
+	// evidence the issue's acceptance criterion asks for.
+	HeapHighWaterMB float64 `json:"heap_high_water_mb"`
+
+	TotalEnergyMJ      float64 `json:"total_energy_mj"`
+	TotalRebufferSec   float64 `json:"total_rebuffer_sec"`
+	DegradedSlots      int     `json:"degraded_slots"`
+	RebufferP50Sec     float64 `json:"rebuffer_p50_sec"`
+	RebufferP95Sec     float64 `json:"rebuffer_p95_sec"`
+	RebufferP99Sec     float64 `json:"rebuffer_p99_sec"`
+	EnergyP50MJ        float64 `json:"energy_p50_mj"`
+	EnergyP95MJ        float64 `json:"energy_p95_mj"`
+	EnergyP99MJ        float64 `json:"energy_p99_mj"`
+	CheckedVsRetained  bool    `json:"checked_vs_retained,omitempty"`
+	RetainedAgreeExact bool    `json:"retained_agree_exact,omitempty"`
+}
+
+// fleetDeployConfig assembles the streaming deployment: identical cells
+// with tiled link tables, serial per-cell engines (the site fan-out owns
+// the parallelism budget), round-robin attachment (assessment-window
+// signal averaging at fleet scale would dominate setup time).
+func fleetDeployConfig(cells, slots, epochSlots, tile int) deploy.Config {
+	cfg := deploy.Config{
+		Policy:     deploy.RoundRobin,
+		Stream:     true,
+		EpochSlots: epochSlots,
+	}
+	for i := 0; i < cells; i++ {
+		c := cell.PaperConfig()
+		c.MaxSlots = slots
+		c.RunFullHorizon = true
+		c.Workers = 1
+		c.LinkTileSlots = tile
+		cfg.Sites = append(cfg.Sites, deploy.Site{
+			Name:         fmt.Sprintf("cell-%03d", i),
+			Cell:         c,
+			SignalOffset: units.DBm(-float64(i%8) * 1.5),
+		})
+	}
+	return cfg
+}
+
+// fleetSessions draws the fleet workload. Stateless signal traces are
+// what make million-user fleets possible at all: the default memoizing
+// traces would grow O(users × horizon) during the run, the exact
+// allocation profile this mode exists to avoid.
+func fleetSessions(users int) ([]*workload.Session, error) {
+	cfg := workload.PaperDefaults(users)
+	cfg.StatelessSignal = true
+	return workload.Generate(cfg, rng.New(42))
+}
+
+// runFleet executes the benchmark and writes the report.
+func runFleet(outPath string, users, cells, slots, epochSlots, tile int, check bool) error {
+	if users < cells {
+		return fmt.Errorf("fleet: %d users cannot populate %d cells", users, cells)
+	}
+	if epochSlots == 0 {
+		epochSlots = deploy.DefaultEpochSlots
+	}
+	sessions, err := fleetSessions(users)
+	if err != nil {
+		return fmt.Errorf("fleet: workload: %w", err)
+	}
+	cfg := fleetDeployConfig(cells, slots, epochSlots, tile)
+
+	rep := &fleetReport{
+		Users: users, Cells: cells, Slots: slots,
+		EpochSlots: epochSlots, TileSlots: tile,
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scheduler:  "Default",
+	}
+
+	var ms runtime.MemStats
+	lastBarrier := time.Now()
+	var epochMs []float64
+	cfg.OnEpoch = func(deploy.EpochInfo) {
+		now := time.Now()
+		epochMs = append(epochMs, float64(now.Sub(lastBarrier).Nanoseconds())/1e6)
+		runtime.ReadMemStats(&ms)
+		if hw := float64(ms.HeapAlloc) / (1 << 20); hw > rep.HeapHighWaterMB {
+			rep.HeapHighWaterMB = hw
+		}
+		lastBarrier = now
+	}
+
+	start := time.Now()
+	res, err := deploy.Run(context.Background(), cfg, sessions, func() (sched.Scheduler, error) {
+		return sched.NewDefault(), nil
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	rep.WallSec = time.Since(start).Seconds()
+
+	fl := res.Fleet
+	rep.Epochs = fl.Epochs
+	for _, m := range epochMs {
+		rep.MsPerEpochAvg += m
+		if m > rep.MsPerEpochMax {
+			rep.MsPerEpochMax = m
+		}
+	}
+	if len(epochMs) > 0 {
+		rep.MsPerEpochAvg /= float64(len(epochMs))
+	}
+	rep.TotalEnergyMJ = float64(fl.Energy)
+	rep.TotalRebufferSec = float64(fl.Rebuffer)
+	rep.DegradedSlots = fl.DegradedSlots
+	rep.RebufferP50Sec = fl.RebufferPerUser.Quantile(0.50)
+	rep.RebufferP95Sec = fl.RebufferPerUser.Quantile(0.95)
+	rep.RebufferP99Sec = fl.RebufferPerUser.Quantile(0.99)
+	rep.EnergyP50MJ = fl.EnergyPerUser.Quantile(0.50)
+	rep.EnergyP95MJ = fl.EnergyPerUser.Quantile(0.95)
+	rep.EnergyP99MJ = fl.EnergyPerUser.Quantile(0.99)
+
+	if check {
+		rep.CheckedVsRetained = true
+		retCfg := cfg
+		retCfg.Stream = false
+		retCfg.OnEpoch = nil
+		ret, err := deploy.Run(context.Background(), retCfg, sessions, func() (sched.Scheduler, error) {
+			return sched.NewDefault(), nil
+		})
+		if err != nil {
+			return fmt.Errorf("fleet: retained check run: %w", err)
+		}
+		if ret.TotalEnergy() != res.TotalEnergy() ||
+			ret.TotalRebuffer() != res.TotalRebuffer() ||
+			ret.DegradedSlots() != res.DegradedSlots() {
+			return fmt.Errorf("fleet: streaming disagrees with retained: energy %v vs %v, rebuffer %v vs %v, degraded %d vs %d",
+				res.TotalEnergy(), ret.TotalEnergy(), res.TotalRebuffer(), ret.TotalRebuffer(),
+				res.DegradedSlots(), ret.DegradedSlots())
+		}
+		rep.RetainedAgreeExact = true
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	fmt.Printf("fleet benchmark: %d users × %d cells × %d slots (epoch %d, tile %d)\n",
+		users, cells, slots, epochSlots, tile)
+	fmt.Printf("  %d epochs in %.1f s  (%.1f ms/epoch avg, %.1f max)\n",
+		rep.Epochs, rep.WallSec, rep.MsPerEpochAvg, rep.MsPerEpochMax)
+	fmt.Printf("  heap high-water %.0f MB\n", rep.HeapHighWaterMB)
+	fmt.Printf("  energy %.3e mJ, rebuffer %.3e s, rebuffer p50/p95/p99 = %.1f/%.1f/%.1f s\n",
+		rep.TotalEnergyMJ, rep.TotalRebufferSec, rep.RebufferP50Sec, rep.RebufferP95Sec, rep.RebufferP99Sec)
+	if rep.CheckedVsRetained {
+		fmt.Println("  retained-mode check: exact agreement")
+	}
+	fmt.Printf("report written to %s\n", outPath)
+	return nil
+}

@@ -60,6 +60,13 @@ func realMain() int {
 		tickSlots  = flag.Int("tickslots", 0, "override the per-tier slot horizon for -tick/-tickdiff (0 scales with N)")
 		tickReps   = flag.Int("tickreps", 3, "repetitions per tick configuration (best is kept)")
 		sweepOut   = flag.String("sweep", "", "time the full parallel figure sweep and write a JSON report to this file")
+		fleetOut   = flag.String("fleet", "", "run the epoch-clocked streaming fleet benchmark and write a JSON report to this file")
+		fleetUsers = flag.Int("fleetusers", 1_000_000, "total fleet session count for -fleet")
+		fleetCells = flag.Int("fleetcells", 256, "cell count for -fleet")
+		fleetSlots = flag.Int("fleetslots", 512, "per-cell slot horizon for -fleet")
+		fleetEpoch = flag.Int("fleetepoch", 0, "lockstep epoch size in slots for -fleet (0 = deploy default)")
+		fleetTile  = flag.Int("fleettile", 64, "link-table tile window in slots for -fleet (0 = monolithic tables)")
+		fleetCheck = flag.Bool("fleetcheck", false, "also run -fleet in retained mode and assert exact agreement")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected mode to this file")
 	)
@@ -86,6 +93,9 @@ func realMain() int {
 		tickOut: *tickOut, tickDiff: *tickDiff, tickTol: *tickTol,
 		tickUsers: *tickUsers, tickSlots: *tickSlots, tickReps: *tickReps,
 		sweepOut: *sweepOut,
+		fleetOut: *fleetOut, fleetUsers: *fleetUsers, fleetCells: *fleetCells,
+		fleetSlots: *fleetSlots, fleetEpoch: *fleetEpoch, fleetTile: *fleetTile,
+		fleetCheck: *fleetCheck,
 	})
 
 	if *memProfile != "" {
@@ -129,6 +139,13 @@ type dispatchArgs struct {
 	tickSlots  int
 	tickReps   int
 	sweepOut   string
+	fleetOut   string
+	fleetUsers int
+	fleetCells int
+	fleetSlots int
+	fleetEpoch int
+	fleetTile  int
+	fleetCheck bool
 }
 
 // dispatch picks the first requested mode, mirroring the historical
@@ -139,6 +156,8 @@ func dispatch(a dispatchArgs) error {
 		return runTick(a.tickOut, a.tickUsers, a.tickSlots, a.tickReps)
 	case a.tickDiff != "":
 		return runTickDiff(a.tickDiff, a.tickUsers, a.tickSlots, a.tickReps, a.tickTol)
+	case a.fleetOut != "":
+		return runFleet(a.fleetOut, a.fleetUsers, a.fleetCells, a.fleetSlots, a.fleetEpoch, a.fleetTile, a.fleetCheck)
 	case a.sweepOut != "":
 		return runSweep(a.sweepOut, a.quick, a.seed)
 	case a.ext != "":

@@ -71,11 +71,22 @@ type Config struct {
 	// slot grid; New rejects mismatched user counts, horizons and grids.
 	Link *LinkTable
 	// LinkTableMaxRows bounds the automatic link-table compilation in
-	// New: 0 selects the 4M-row (~160 MB) default, negative disables
-	// compilation entirely (the tick path then evaluates the radio model
-	// through the interfaces, as before the link-table layer). A
-	// caller-supplied Link is used regardless of this cap.
+	// New: 0 selects the DefaultLinkTableMaxRows 4M-row default (≈144 MB
+	// at linkRowBytes = 36 B per row), negative disables compilation
+	// entirely (the tick path then evaluates the radio model through the
+	// interfaces, as before the link-table layer). A caller-supplied Link
+	// is used regardless of this cap.
 	LinkTableMaxRows int
+	// LinkTileSlots, when positive, compiles a tiled link table
+	// (CompileLinkTiled) holding only this many consecutive slots
+	// resident instead of the whole horizon: the engine recompiles the
+	// block in place as its slot clock advances, so link-state memory is
+	// users × LinkTileSlots rows no matter the horizon — the fleet
+	// runner's per-cell setting. Per-cell results are byte-identical to
+	// the monolithic table's (differentially asserted). Ignored when a
+	// caller-supplied Link is present; a value ≥ MaxSlots degenerates to
+	// the monolithic table.
+	LinkTileSlots int
 	// Outages lists base-station outage windows: during each [From, To)
 	// slot range the serving capacity is zero, no allocation happens, and
 	// every session degrades gracefully (buffers drain, rebuffering and
@@ -129,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.ShardSize < 0 {
 		return fmt.Errorf("cell: negative shard size %d", c.ShardSize)
+	}
+	if c.LinkTileSlots < 0 {
+		return fmt.Errorf("cell: negative link tile window %d", c.LinkTileSlots)
 	}
 	if c.ABR != nil {
 		if err := c.ABR.Validate(); err != nil {
@@ -436,10 +450,25 @@ type Simulator struct {
 	// order.
 	prevEpkb []units.MJ
 	prevRate []units.KBps
-	prepFn   func(int)
-	commFn   func(int)
-	fusedFn  func(int)
+	// prevEpkbBuf/prevRateBuf are the copy fallback behind prevEpkb/
+	// prevRate for tiled link tables: when attaching slot n+1 will
+	// recompile the resident block (tile crossing), aliasing slot n's
+	// windows would hand the fused pass freshly overwritten memory, so
+	// pinPrevColumns copies the columns here first — an O(users) copy
+	// once per tile, not per slot. Allocated on first use, reused after.
+	prevEpkbBuf []units.MJ
+	prevRateBuf []units.KBps
+	prepFn      func(int)
+	commFn      func(int)
+	fusedFn     func(int)
 	lblPrep, lblSched, lblCommit, lblFused context.Context
+
+	// Stepped-run state (Start/Advance/Finish): the context bound at
+	// Start for per-slot cancellation checks, the next slot to tick, and
+	// whether the run already hit its end condition.
+	stepCtx  context.Context
+	nextSlot int
+	stepDone bool
 }
 
 // outageAt reports whether slot n falls inside any configured outage
@@ -525,6 +554,12 @@ func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulato
 			return nil, err
 		}
 		sim.link = cfg.Link
+	} else if cfg.LinkTileSlots > 0 {
+		lt, err := CompileLinkTiled(cfg, sessions, cfg.LinkTileSlots)
+		if err != nil {
+			return nil, err
+		}
+		sim.link = lt
 	} else if cfg.LinkTableMaxRows >= 0 {
 		maxRows := cfg.LinkTableMaxRows
 		if maxRows == 0 {
@@ -592,21 +627,23 @@ func (s *Simulator) newResult() *Result {
 	res := &Result{
 		SchedulerName: s.sched.Name(),
 		Users:         make([]UserTotals, n),
-		// Pre-size every recorded series from the slot horizon: runs that
+		// Pre-size the per-slot series from the slot horizon: runs that
 		// finish early waste a little capacity, runs that go the distance
-		// never reallocate mid-tick.
+		// never reallocate mid-tick. It is O(horizon), not O(users ×
+		// horizon), so the fleet runner tolerates it.
 		PerSlot: make([]SlotTotals, 0, s.cfg.MaxSlots),
 	}
 	for i := range res.Users {
 		res.Users[i].CompletionSlot = -1
 	}
 	if s.cfg.RecordPerUserSlots {
+		// Only the outer spines are pre-sized. Eagerly reserving MaxSlots
+		// capacity per user is an O(users × horizon) allocation before the
+		// first slot runs — the commit path appends lazily instead, so a
+		// recorded run's sample memory grows with the slots it actually
+		// simulates.
 		res.RebufferSamples = make([][]float64, n)
 		res.EnergySamples = make([][]float64, n)
-		for i := 0; i < n; i++ {
-			res.RebufferSamples[i] = make([]float64, 0, s.cfg.MaxSlots)
-			res.EnergySamples[i] = make([]float64, 0, s.cfg.MaxSlots)
-		}
 	}
 	return res
 }

@@ -53,26 +53,78 @@ func (s *Simulator) Run() (*Result, error) {
 // a cancelled context makes the run return ctx.Err() promptly — within
 // one slot's work — instead of finishing the horizon. The partially
 // filled Result is discarded; cancellation is not a valid run.
+//
+// RunCtx is exactly Start + Advance(MaxSlots) + Finish: the stepped API
+// below runs the identical per-slot sequence, so a run advanced in
+// epoch-sized chunks (the fleet runner) produces a byte-identical Result.
 func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
-	if err := s.begin(); err != nil {
+	if err := s.Start(ctx); err != nil {
 		return nil, err
 	}
-	s.startRun(ctx)
-	defer pprof.SetGoroutineLabels(ctx)
+	if _, err := s.Advance(s.cfg.MaxSlots); err != nil {
+		return nil, err
+	}
+	return s.Finish(), nil
+}
 
-	for slotIdx := 0; slotIdx < s.cfg.MaxSlots; slotIdx++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("cell: run cancelled at slot %d: %w", slotIdx, err)
+// Start begins a stepped run: the caller then drives the slot clock with
+// Advance and collects the Result with Finish. The deploy package's
+// epoch-clocked fleet runner uses this to tick hundreds of cells in
+// lockstep without dedicating a goroutine (or a full-horizon loop) to
+// each. Like Run, a Simulator is single-use: Start consumes it.
+func (s *Simulator) Start(ctx context.Context) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	s.startRun(ctx)
+	s.stepCtx = ctx
+	s.nextSlot = 0
+	s.stepDone = false
+	return nil
+}
+
+// Advance ticks the run up to (but not including) slot upto, clamped to
+// the horizon, and reports whether the run is over — the horizon was
+// reached or every session finished. It checks the Start context at the
+// top of every slot, exactly as RunCtx does, and restores the caller's
+// pprof labels before returning so epoch-driving goroutines don't keep a
+// phase label between epochs. Calling Advance again after done=true is a
+// no-op returning done=true.
+func (s *Simulator) Advance(upto int) (bool, error) {
+	if s.stepCtx == nil {
+		return false, fmt.Errorf("cell: Advance without Start")
+	}
+	defer pprof.SetGoroutineLabels(s.stepCtx)
+	if upto > s.cfg.MaxSlots {
+		upto = s.cfg.MaxSlots
+	}
+	for !s.stepDone && s.nextSlot < upto {
+		if err := s.stepCtx.Err(); err != nil {
+			return false, fmt.Errorf("cell: run cancelled at slot %d: %w", s.nextSlot, err)
 		}
-		done, err := s.tickSlot(slotIdx)
+		done, err := s.tickSlot(s.nextSlot)
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		if done {
+			s.stepDone = true
 			break
 		}
+		s.nextSlot++
 	}
-	return s.finishRun(), nil
+	if s.nextSlot >= s.cfg.MaxSlots {
+		s.stepDone = true
+	}
+	return s.stepDone, nil
+}
+
+// Finish pads the recorded series, finalizes and returns the Result of a
+// stepped run. Call it once Advance reports done (calling earlier
+// finalizes the slots ticked so far, which is only meaningful for tests).
+func (s *Simulator) Finish() *Result {
+	res := s.finishRun()
+	s.stepCtx = nil
+	return res
 }
 
 // RunArms executes several simulators over a shared slot clock; see
@@ -261,7 +313,7 @@ func (s *Simulator) tickSlot(slotIdx int) (bool, error) {
 	// and re-prepares its users in one pass.
 	if slotIdx+1 < s.cfg.MaxSlots {
 		pprof.SetGoroutineLabels(s.lblFused)
-		s.prevEpkb, s.prevRate = s.cols.EnergyPerKB, s.cols.Rate
+		s.pinPrevColumns(slotIdx + 1)
 		s.attachSlotColumns(slotIdx + 1)
 		pool.Shard(workers, shards, s.fusedFn)
 		s.collectActive(shards)
@@ -298,6 +350,35 @@ func (s *Simulator) tickSlot(slotIdx int) (bool, error) {
 		s.dropRetired()
 	}
 	return false, nil
+}
+
+// pinPrevColumns pins this slot's static price and rate columns for the
+// fused pass before attachSlotColumns moves the view on to slot next.
+// Normally the pins are zero-copy aliases of the current columns — with
+// a monolithic link table those windows stay valid forever, and without
+// a table the fused kernel's per-user read-commit-then-write-prepare
+// order protects the engine-owned arrays. A tiled table breaks the
+// aliasing case exactly when attaching slot next recompiles the resident
+// block: the aliased windows would be overwritten with slot-next physics
+// before the commit half reads them, so the columns are copied into
+// engine scratch first. The copy happens once per tile crossing (an
+// O(users) memmove every window slots) and copies values bitwise, so
+// results are unchanged.
+func (s *Simulator) pinPrevColumns(next int) {
+	if s.link != nil && s.link.willEvict(next) {
+		s.prevEpkbBuf = append(s.prevEpkbBuf[:0], s.cols.EnergyPerKB...)
+		s.prevEpkb = s.prevEpkbBuf
+		if s.cfg.ABR == nil {
+			// Rate aliases the table only without ABR; under ABR it is an
+			// engine-owned array the recompile never touches.
+			s.prevRateBuf = append(s.prevRateBuf[:0], s.cols.Rate...)
+			s.prevRate = s.prevRateBuf
+		} else {
+			s.prevRate = s.cols.Rate
+		}
+		return
+	}
+	s.prevEpkb, s.prevRate = s.cols.EnergyPerKB, s.cols.Rate
 }
 
 // collectActive concatenates the per-shard active segments into the

@@ -19,24 +19,32 @@ import (
 // function of (seed, slot, user).
 
 // SlotEnergyPerKB returns slot n's per-user energy-price column as a
-// zero-copy reslice of the table. Shared immutable state: callers must
-// never write through it.
+// zero-copy reslice of the table. Callers must never write through it.
+// Monolithic tables return shared immutable state valid forever; tiled
+// tables return a view of the resident block (recompiled if needed) that
+// the next window advance invalidates.
 func (t *LinkTable) SlotEnergyPerKB(n int) []units.MJ {
-	lo, hi := n*t.users, (n+1)*t.users
+	t.ensureSlot(n)
+	lo := (n - t.base) * t.users
+	hi := lo + t.users
 	return t.epkb[lo:hi:hi]
 }
 
-// SlotLinkUnits returns slot n's per-user Eq. (1) unit-limit column as
-// a zero-copy reslice of the table. Shared immutable state: callers
-// must never write through it.
+// SlotLinkUnits returns slot n's per-user Eq. (1) unit-limit column as a
+// zero-copy reslice of the table, with the same validity rules as
+// SlotEnergyPerKB.
 func (t *LinkTable) SlotLinkUnits(n int) []int32 {
-	lo, hi := n*t.users, (n+1)*t.users
+	t.ensureSlot(n)
+	lo := (n - t.base) * t.users
+	hi := lo + t.users
 	return t.linkUnits[lo:hi:hi]
 }
 
 // MaxLinkUnits returns the largest Eq. (1) per-user unit limit anywhere
 // in the table — the cap no honest or corrupted prediction of this
-// table may exceed.
+// table may exceed. Monolithic tables only: a tiled table holds one
+// window, so the whole-horizon maximum is not available (NewNoisyForecast,
+// the sole consumer, rejects tiled tables for this reason).
 func (t *LinkTable) MaxLinkUnits() int {
 	var m int32
 	for _, lu := range t.linkUnits {
@@ -47,14 +55,56 @@ func (t *LinkTable) MaxLinkUnits() int {
 	return int(m)
 }
 
-// tableForecast is the exact future-channel view: predictions are the
-// compiled columns themselves.
+// tableForecast is the exact future-channel view of a monolithic table:
+// predictions are the compiled columns themselves.
 type tableForecast struct{ t *LinkTable }
 
-// Forecast returns the table's exact sched.Forecast view. It also
-// implements sched.SlotWindower, so the Predictive scheduler's window
-// prefetch re-aliases the columns without copies.
-func (t *LinkTable) Forecast() sched.Forecast { return tableForecast{t} }
+// Forecast returns the table's exact sched.Forecast view. A monolithic
+// table's forecast also implements sched.SlotWindower, so the Predictive
+// scheduler's window prefetch re-aliases the columns without copies. A
+// tiled table returns a computed forecast instead: random-access reads
+// re-derive each entry from the retained sessions and radio model through
+// the identical expressions the compiled rows used — bitwise-equal values
+// — rather than thrashing the resident window, and no SlotWindower is
+// offered since a window view would be invalidated by the engine's own
+// tile advances.
+func (t *LinkTable) Forecast() sched.Forecast {
+	if t.window > 0 {
+		return computedForecast{t}
+	}
+	return tableForecast{t}
+}
+
+// computedForecast serves a tiled table's predictions by recomputation:
+// each read evaluates the same signal/LUT-or-analytic/floor expressions
+// recompile writes into the resident block, so predictions equal the
+// monolithic table's columns bitwise without requiring residency.
+type computedForecast struct{ t *LinkTable }
+
+// HorizonSlots implements sched.Forecast.
+func (f computedForecast) HorizonSlots() int { return f.t.slots }
+
+// PredictedEnergyPerKB implements sched.Forecast.
+func (f computedForecast) PredictedEnergyPerKB(n, i int) units.MJ {
+	_, p := f.t.evalRow(n, i)
+	return p
+}
+
+// PredictedLinkUnits implements sched.Forecast.
+func (f computedForecast) PredictedLinkUnits(n, i int) int {
+	v, _ := f.t.evalRow(n, i)
+	return floorUnits(float64(v)*float64(f.t.tau), float64(f.t.unit))
+}
+
+// evalRow evaluates one (slot, user) link entry through the same
+// expressions recompile uses for the resident block.
+func (t *LinkTable) evalRow(n, i int) (units.KBps, units.MJ) {
+	sig := t.src.sessions[i].Signal.At(n)
+	if t.lut {
+		return t.src.lutTab.Lookup(sig)
+	}
+	return t.src.radio.Throughput.Throughput(sig), t.src.radio.Power.EnergyPerKB(sig)
+}
 
 // HorizonSlots implements sched.Forecast.
 func (f tableForecast) HorizonSlots() int { return f.t.slots }
@@ -103,6 +153,9 @@ type NoisyForecast struct {
 func NewNoisyForecast(t *LinkTable, seed uint64, errFrac float64) (*NoisyForecast, error) {
 	if t == nil {
 		return nil, fmt.Errorf("cell: noisy forecast needs a link table")
+	}
+	if t.window > 0 {
+		return nil, fmt.Errorf("cell: noisy forecast needs a monolithic link table (tiled tables cannot provide the whole-horizon MaxLinkUnits clamp)")
 	}
 	if math.IsNaN(errFrac) || math.IsInf(errFrac, 0) || errFrac < 0 {
 		return nil, fmt.Errorf("cell: invalid forecast error level %v", errFrac)

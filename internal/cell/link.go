@@ -33,12 +33,24 @@ const linkRowBytes = int64(unsafe.Sizeof(units.DBm(0)) + // sig
 	unsafe.Sizeof(units.KBps(0)) + // rate
 	unsafe.Sizeof(int32(0))) // linkUnits
 
-// LinkTable is the immutable flattened link view of one workload under
-// one radio model and slot grid. It is safe to share across any number
-// of concurrent Simulators (the experiment harness compiles one per
-// scenario and hands it to every scheduler run); nothing in the engine
-// writes to it — the engine only reslices the columns, so the slot views
-// it hands to schedulers alias this shared memory read-only.
+// LinkTable is the flattened link view of one workload under one radio
+// model and slot grid. A monolithic table (CompileLink) is immutable and
+// safe to share across any number of concurrent Simulators (the
+// experiment harness compiles one per scenario and hands it to every
+// scheduler run); nothing in the engine writes to it — the engine only
+// reslices the columns, so the slot views it hands to schedulers alias
+// this shared memory read-only.
+//
+// A tiled table (CompileLinkTiled) keeps only a sliding window of slots
+// resident and recompiles the block in place as the engine's slot clock
+// advances past it, bounding the footprint at users × window rows instead
+// of users × horizon. That makes it mutable and single-owner: it must not
+// be shared across simulators (New rejects a tiled Config.Link), and the
+// column views it returns are valid only until the next slot outside the
+// resident window is requested. Every row a tiled table serves is
+// bitwise-identical to the monolithic table's row for the same (slot,
+// user) — see recompile for why — which the tiled differential tests
+// assert end to end.
 type LinkTable struct {
 	users int
 	slots int
@@ -46,8 +58,9 @@ type LinkTable struct {
 	unit  units.KB
 	lut   bool // columns were produced through an exact radio.Table
 
-	// Slot-major parallel columns, indexed by n*users+i: the window
-	// [n*users, (n+1)*users) is slot n's per-user column.
+	// Slot-major parallel columns, indexed by (n-base)*users+i (base is 0
+	// and never moves for monolithic tables): the window
+	// [(n-base)*users, (n-base+1)*users) is slot n's per-user column.
 	sig  []units.DBm
 	link []units.KBps
 	epkb []units.MJ
@@ -55,6 +68,22 @@ type LinkTable struct {
 	// linkUnits is ⌊τ·v(sig)/δ⌋, the Eq. (1) per-user limit before the
 	// remaining-demand cap.
 	linkUnits []int32
+
+	// Tiling state; zero/nil for monolithic tables (window == 0).
+	window   int         // resident slot capacity (0 = monolithic, all slots resident)
+	base     int         // first resident slot
+	resident int         // resident slot count: min(window, slots-base)
+	src      *linkSource // retained compile inputs for window advances
+}
+
+// linkSource retains what a tiled table needs to recompile a block: the
+// prewarmed sessions, the radio model, the (exact-only) LUT and the
+// worker bound. Monolithic tables drop all of it after compilation.
+type linkSource struct {
+	sessions []*workload.Session
+	radio    radio.Model
+	lutTab   *radio.Table // nil unless the LUT is provably exact
+	workers  int
 }
 
 // linkTableBins is the quantizer resolution of the radio LUT used during
@@ -154,6 +183,138 @@ func CompileLink(cfg Config, sessions []*workload.Session) (*LinkTable, error) {
 	return t, nil
 }
 
+// CompileLinkTiled builds a tiled link table: only `window` consecutive
+// slots are resident at a time (users × window rows, linkRowBytes each),
+// and requesting a slot outside the resident block recompiles the block
+// in place starting at that slot. The engine's strictly advancing slot
+// clock therefore pays one block recompilation every `window` slots and
+// holds users × window rows of link state no matter how long the horizon
+// is — the property the fleet runner's memory budget rests on.
+//
+// Every row served is bitwise-identical to CompileLink's row for the same
+// (slot, user): the per-entry expressions are the same, and the radio LUT
+// is consulted only when provably exact, in which case its output equals
+// the analytic model's at every signal value regardless of the domain the
+// quantizer was built over (each bin of an exact table carries the fit's
+// own coefficients). A non-exact model evaluates analytically per entry,
+// exactly as CompileLink does. Monolithic compilation observes the whole
+// horizon's signal range before building its LUT; tiled compilation
+// cannot, and does not need to — exactness is a property of the model,
+// not the domain.
+//
+// A window ≥ cfg.MaxSlots degenerates to (and returns) the monolithic
+// table. The returned tiled table is mutable single-owner state: attach
+// it to exactly one Simulator (via Config.LinkTileSlots, which calls
+// this), never via the shared Config.Link.
+func CompileLinkTiled(cfg Config, sessions []*workload.Session, window int) (*LinkTable, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("cell: non-positive link tile window %d", window)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("cell: link table needs at least one session")
+	}
+	if window >= cfg.MaxSlots {
+		return CompileLink(cfg, sessions)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	users := len(sessions)
+	// Prewarm to the horizon like CompileLink: a no-op for the stateless
+	// traces fleet workloads use, and for memoizing traces it only
+	// front-loads the memo fill the per-tile At calls would do anyway
+	// (values are identical either way).
+	workload.PrewarmAll(workers, sessions, cfg.MaxSlots)
+
+	// Probe the model for LUT exactness over an arbitrary domain (the
+	// paper's evaluation bounds); see the function comment for why the
+	// domain is irrelevant to an exact table's output.
+	lut, err := radio.NewTable(cfg.Radio, -110, -50, linkTableBins)
+	if err != nil {
+		return nil, err
+	}
+	t := &LinkTable{
+		users:     users,
+		slots:     cfg.MaxSlots,
+		tau:       cfg.Tau,
+		unit:      cfg.Unit,
+		lut:       lut.Exact(),
+		sig:       make([]units.DBm, users*window),
+		link:      make([]units.KBps, users*window),
+		epkb:      make([]units.MJ, users*window),
+		rate:      make([]units.KBps, users*window),
+		linkUnits: make([]int32, users*window),
+		window:    window,
+		src:       &linkSource{sessions: sessions, radio: cfg.Radio, workers: workers},
+	}
+	if t.lut {
+		t.src.lutTab = lut
+	}
+	t.recompile(0)
+	return t, nil
+}
+
+// ensureSlot makes slot n resident, recompiling the block to start at n
+// when it is not. Monolithic tables keep every slot resident.
+func (t *LinkTable) ensureSlot(n int) {
+	if t.window == 0 || (n >= t.base && n < t.base+t.resident) {
+		return
+	}
+	if n < 0 || n >= t.slots {
+		panic(fmt.Sprintf("cell: link table slot %d outside horizon %d", n, t.slots))
+	}
+	t.recompile(n)
+}
+
+// willEvict reports whether making slot n resident would recompile the
+// block, invalidating every column view previously returned. The engine
+// consults it before the fused pass to know when the pinned previous-slot
+// columns must be copied instead of aliased.
+func (t *LinkTable) willEvict(n int) bool {
+	return t.window > 0 && (n < t.base || n >= t.base+t.resident)
+}
+
+// recompile fills the resident block with slots [base, min(base+window,
+// slots)). The per-entry expressions mirror CompileLink's two passes
+// exactly — flatten sig/rate, then evaluate the radio curves through the
+// exact LUT or the analytic interfaces — so each row is bitwise-identical
+// to the monolithic table's. Shards own users (columns within the block),
+// matching CompileLink's write-disjointness.
+func (t *LinkTable) recompile(base int) {
+	hi := base + t.window
+	if hi > t.slots {
+		hi = t.slots
+	}
+	src := t.src
+	tau, unit := float64(t.tau), float64(t.unit)
+	pool.Shard(src.workers, t.users, func(i int) {
+		sess := src.sessions[i]
+		for n := base; n < hi; n++ {
+			idx := (n-base)*t.users + i
+			sig := sess.Signal.At(n)
+			var v units.KBps
+			var p units.MJ
+			if t.lut {
+				v, p = src.lutTab.Lookup(sig)
+			} else {
+				v = src.radio.Throughput.Throughput(sig)
+				p = src.radio.Power.EnergyPerKB(sig)
+			}
+			t.sig[idx] = sig
+			t.rate[idx] = sess.RateAt(n)
+			t.link[idx] = v
+			t.epkb[idx] = p
+			t.linkUnits[idx] = int32(floorUnits(float64(v)*tau, unit))
+		}
+	})
+	t.base = base
+	t.resident = hi - base
+}
+
 // Users returns the user count the table was compiled for.
 func (t *LinkTable) Users() int { return t.users }
 
@@ -170,16 +331,31 @@ func (t *LinkTable) Unit() units.KB { return t.unit }
 // quantized radio.Table (false means direct analytic evaluation).
 func (t *LinkTable) ViaLUT() bool { return t.lut }
 
-// MemoryBytes returns the total size of the packed column arrays.
+// TileWindow returns the resident slot window of a tiled table, or 0 for
+// a monolithic table (every slot resident).
+func (t *LinkTable) TileWindow() int { return t.window }
+
+// MemoryBytes returns the resident size of the packed column arrays:
+// users × horizon rows for a monolithic table, users × window for a
+// tiled one (linkRowBytes per row either way).
 func (t *LinkTable) MemoryBytes() int64 {
-	return int64(t.users) * int64(t.slots) * linkRowBytes
+	slots := t.slots
+	if t.window > 0 {
+		slots = t.window
+	}
+	return int64(t.users) * int64(slots) * linkRowBytes
 }
 
 // slotColumns returns zero-copy views of slot n's per-user columns. The
 // engine aliases these directly into the sched.Columns slot view; they
-// are shared immutable state and must never be written through.
+// must never be written through. For a monolithic table the views are
+// shared immutable state valid forever; for a tiled table they alias the
+// resident block (recompiled here if slot n is outside it) and are
+// invalidated by the next slotColumns call that advances the window.
 func (t *LinkTable) slotColumns(n int) (sig []units.DBm, link []units.KBps, epkb []units.MJ, rate []units.KBps, linkUnits []int32) {
-	lo, hi := n*t.users, (n+1)*t.users
+	t.ensureSlot(n)
+	lo := (n - t.base) * t.users
+	hi := lo + t.users
 	return t.sig[lo:hi:hi], t.link[lo:hi:hi], t.epkb[lo:hi:hi], t.rate[lo:hi:hi], t.linkUnits[lo:hi:hi]
 }
 
@@ -199,6 +375,9 @@ const linkVerifySamples = 16
 // provably exact), so any divergence means the table was compiled under
 // a different model or workload and would silently replay wrong physics.
 func (t *LinkTable) compatible(cfg Config, sessions []*workload.Session) error {
+	if t.window > 0 {
+		return fmt.Errorf("cell: tiled link tables are mutable single-owner state and cannot be shared via Config.Link; set Config.LinkTileSlots to compile one per run")
+	}
 	if t.users != len(sessions) {
 		return fmt.Errorf("cell: link table compiled for %d users, run has %d", t.users, len(sessions))
 	}

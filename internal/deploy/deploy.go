@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"jointstream/internal/cell"
+	"jointstream/internal/metrics"
 	"jointstream/internal/pool"
 	"jointstream/internal/rng"
 	"jointstream/internal/sched"
@@ -88,6 +89,41 @@ type Config struct {
 	// stay attached and resume when the window closes; Result.
 	// DegradedSlots aggregates how many slots the fleet spent degraded.
 	Outages []SiteOutage
+	// Stream selects the epoch-clocked streaming runner: cells advance in
+	// lockstep EpochSlots-sized batches and each finished cell's result is
+	// folded into Result.Fleet and freed immediately, so the resident
+	// footprint is O(active cells) rather than O(all cells' results). The
+	// folded totals are byte-identical to the retained mode's accessors on
+	// every overlapping metric (the fleet tests assert this with ==); what
+	// streaming gives up is the per-site Result slice and the
+	// MisassignedSlots diagnostic, whose O(users × slots × sites) signal
+	// replay would dwarf the simulation itself at fleet scale.
+	Stream bool
+	// EpochSlots is the streaming runner's lockstep batch size (0 =
+	// DefaultEpochSlots). Smaller epochs tighten the progress callback
+	// cadence; results are byte-identical for any value (the stepped
+	// engine contract) — only scheduling granularity changes.
+	EpochSlots int
+	// OnEpoch, when set, is called serially on the caller's goroutine
+	// after every streaming epoch barrier — the hook the fleet benchmark
+	// uses to sample wall time and heap high-water per epoch.
+	OnEpoch func(EpochInfo)
+}
+
+// DefaultEpochSlots is the streaming runner's batch size when
+// Config.EpochSlots is zero.
+const DefaultEpochSlots = 256
+
+// EpochInfo describes one completed streaming epoch.
+type EpochInfo struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// UptoSlot is the exclusive slot bound every active cell reached.
+	UptoSlot int
+	// ActiveSites counts cells still running after this epoch.
+	ActiveSites int
+	// CompletedSites counts cells finished and folded so far.
+	CompletedSites int
 }
 
 // SiteOutage is one site-scoped capacity-zero window over [From, To).
@@ -123,6 +159,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("deploy: outage %d has invalid window [%d, %d)", i, o.From, o.To)
 		}
 	}
+	if c.EpochSlots < 0 {
+		return fmt.Errorf("deploy: negative epoch size %d", c.EpochSlots)
+	}
 	return nil
 }
 
@@ -135,26 +174,76 @@ type Placement struct {
 // Result aggregates a deployment run.
 type Result struct {
 	// PerSite holds each cell's simulation result; entries are nil for
-	// sites that received no users.
+	// sites that received no users. Nil entirely in streaming mode, where
+	// per-cell results are folded into Fleet and freed as cells finish.
 	PerSite []*cell.Result
 	// Placements maps each input session to its serving site.
 	Placements []Placement
 	// MisassignedSlots counts (user, slot) pairs in which a different
 	// site's signal was ≥ HandoverMarginDB stronger than the serving
 	// site's — an upper bound on the handovers a mobility-aware
-	// deployment would perform.
+	// deployment would perform. Always 0 in streaming mode: the
+	// diagnostic replays every user's signal toward every site and its
+	// O(users × slots × sites) cost is the antithesis of a bounded-memory
+	// fleet pass.
 	MisassignedSlots int
 	// TotalSlots is Σ per-user simulated slots, the denominator for
 	// MisassignedSlots.
 	TotalSlots int
+	// Fleet holds the streaming runner's folded aggregates; nil in
+	// retained mode.
+	Fleet *FleetMetrics
+}
+
+// FleetMetrics is the streaming runner's windowed aggregation of every
+// per-cell result. Scalar totals are folded per site and then merged in
+// site index order — the same float-addition sequence the retained
+// Result accessors perform over PerSite — so the two modes agree
+// bit-for-bit, not just approximately.
+type FleetMetrics struct {
+	// Sites and EmptySites count configured cells and cells that received
+	// no users.
+	Sites, EmptySites int
+	// Users counts simulated sessions across the fleet.
+	Users int
+	// Slots is the fleet horizon: the largest per-cell slot count.
+	Slots int
+	// Epochs counts streaming epochs executed.
+	Epochs int
+	// DegradedSlots sums the slots each cell spent inside an outage
+	// window; ClampEvents sums scheduler outputs clamped by Eq. (1)/(2).
+	DegradedSlots, ClampEvents int
+	// Energy and TailEnergy are fleet-total energies (mJ); Rebuffer is
+	// the fleet-total stall time.
+	Energy, TailEnergy units.MJ
+	Rebuffer           units.Seconds
+	// PerEpoch holds fleet-wide per-epoch energy/rebuffer totals, the
+	// streaming replacement for retaining every cell's PerSlot series.
+	PerEpoch []EpochTotals
+	// RebufferPerUser and EnergyPerUser sketch the per-user total
+	// distributions (seconds and mJ): fixed-memory streaming histograms
+	// whose quantiles are within half a bin width of the exact sample
+	// quantiles (see metrics.StreamingHist).
+	RebufferPerUser *metrics.StreamingHist
+	EnergyPerUser   *metrics.StreamingHist
+}
+
+// EpochTotals aggregates one streaming epoch across the fleet.
+type EpochTotals struct {
+	Energy   units.MJ
+	Rebuffer units.Seconds
 }
 
 // HandoverMarginDB is the hysteresis margin used for the misassignment
 // diagnostic, matching typical A3-event offsets.
 const HandoverMarginDB = 3
 
-// TotalEnergy sums energy across sites (mJ).
+// TotalEnergy sums energy across sites (mJ). Streaming results serve the
+// folded fleet total, which matches the retained sum bit-for-bit.
 func (r *Result) TotalEnergy() units.MJ {
+	if r.Fleet != nil {
+		return r.Fleet.Energy
+	}
 	var sum units.MJ
 	for _, res := range r.PerSite {
 		if res != nil {
@@ -166,6 +255,9 @@ func (r *Result) TotalEnergy() units.MJ {
 
 // TotalRebuffer sums stall time across sites.
 func (r *Result) TotalRebuffer() units.Seconds {
+	if r.Fleet != nil {
+		return r.Fleet.Rebuffer
+	}
 	var sum units.Seconds
 	for _, res := range r.PerSite {
 		if res != nil {
@@ -180,6 +272,9 @@ func (r *Result) Users() int { return len(r.Placements) }
 
 // DegradedSlots sums the slots every site spent inside an outage window.
 func (r *Result) DegradedSlots() int {
+	if r.Fleet != nil {
+		return r.Fleet.DegradedSlots
+	}
 	sum := 0
 	for _, res := range r.PerSite {
 		if res != nil {
@@ -261,6 +356,14 @@ func Run(ctx context.Context, cfg Config, sessions []*workload.Session, newSched
 		backRef[pl.Site] = append(backRef[pl.Site], pl.User)
 	}
 
+	if cfg.Stream {
+		fleet, err := runStream(ctx, cfg, perSite, newSched)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Placements: placements, Fleet: fleet}, nil
+	}
+
 	type job struct {
 		site int
 	}
@@ -275,23 +378,9 @@ func Run(ctx context.Context, cfg Config, sessions []*workload.Session, newSched
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s, err := newSched()
+		sim, err := newSiteSim(cfg, j.site, perSite[j.site], newSched)
 		if err != nil {
 			return nil, err
-		}
-		cellCfg := cfg.Sites[j.site].Cell
-		// Map this site's deploy-level outage windows onto the cell config
-		// (appending to a copy: the caller's per-site config and any
-		// windows it already carries stay untouched).
-		for _, o := range cfg.Outages {
-			if o.Site == j.site {
-				cellCfg.Outages = append(cellCfg.Outages[:len(cellCfg.Outages):len(cellCfg.Outages)],
-					cell.Outage{From: o.From, To: o.To})
-			}
-		}
-		sim, err := cell.New(cellCfg, perSite[j.site], s)
-		if err != nil {
-			return nil, fmt.Errorf("site %d (%s): %w", j.site, cfg.Sites[j.site].Name, err)
 		}
 		return sim.RunCtx(ctx)
 	})
@@ -302,6 +391,210 @@ func Run(ctx context.Context, cfg Config, sessions []*workload.Session, newSched
 	res := &Result{PerSite: results, Placements: placements}
 	res.MisassignedSlots, res.TotalSlots = misassignment(cfg, sessions, placements, results, backRef)
 	return res, nil
+}
+
+// newSiteSim builds one site's simulator: fresh scheduler, the site's
+// cell config with this site's deploy-level outage windows appended to a
+// copy (the caller's per-site config and any windows it already carries
+// stay untouched).
+func newSiteSim(cfg Config, site int, sessions []*workload.Session, newSched func() (sched.Scheduler, error)) (*cell.Simulator, error) {
+	s, err := newSched()
+	if err != nil {
+		return nil, err
+	}
+	cellCfg := cfg.Sites[site].Cell
+	for _, o := range cfg.Outages {
+		if o.Site == site {
+			cellCfg.Outages = append(cellCfg.Outages[:len(cellCfg.Outages):len(cellCfg.Outages)],
+				cell.Outage{From: o.From, To: o.To})
+		}
+	}
+	sim, err := cell.New(cellCfg, sessions, s)
+	if err != nil {
+		return nil, fmt.Errorf("site %d (%s): %w", site, cfg.Sites[site].Name, err)
+	}
+	return sim, nil
+}
+
+// Streaming-histogram shapes for the per-user distributions: 128 bins
+// with sub-second / sub-mJ initial resolution; auto-widening covers any
+// scale while keeping the quantile error at half the final bin width.
+const (
+	fleetHistBins          = 128
+	fleetRebufferBinSec    = 0.25
+	fleetEnergyBinMJ       = 1.0
+	fleetEpochTotalsBudget = 1 << 16 // PerEpoch entries before truncation
+)
+
+// siteAgg is the per-site fold of one finished cell result. Scalars are
+// kept per site and merged in site index order afterwards so the final
+// totals reproduce the retained accessors' float-addition sequence
+// exactly.
+type siteAgg struct {
+	users         int
+	slots         int
+	energy        units.MJ
+	tailEnergy    units.MJ
+	rebuffer      units.Seconds
+	degradedSlots int
+	clampEvents   int
+	perEpoch      []EpochTotals
+	// Per-site histograms, merged fleet-wide in site index order after
+	// the run: folding straight into shared fleet histograms would order
+	// the float accumulation by *finish epoch*, making the sketch's sum
+	// depend on EpochSlots; per-site sketches cost O(sites × bins) and
+	// keep every fleet metric byte-identical across epoch sizes too.
+	rebufHist  *metrics.StreamingHist
+	energyHist *metrics.StreamingHist
+}
+
+// runStream is the epoch-clocked fleet runner: every populated site gets
+// a stepped simulator, all active sites advance to the same slot bound
+// each epoch under the shared worker budget, and a site that finishes is
+// folded into its siteAgg and freed before the next epoch — peak memory
+// holds active simulators plus O(sites + epochs) aggregates, never the
+// full fleet's results.
+func runStream(ctx context.Context, cfg Config, perSite [][]*workload.Session, newSched func() (sched.Scheduler, error)) (*FleetMetrics, error) {
+	epoch := cfg.EpochSlots
+	if epoch == 0 {
+		epoch = DefaultEpochSlots
+	}
+
+	fleet := &FleetMetrics{Sites: len(cfg.Sites)}
+	var err error
+	if fleet.RebufferPerUser, err = metrics.NewStreamingHist(fleetHistBins, fleetRebufferBinSec); err != nil {
+		return nil, err
+	}
+	if fleet.EnergyPerUser, err = metrics.NewStreamingHist(fleetHistBins, fleetEnergyBinMJ); err != nil {
+		return nil, err
+	}
+
+	sims := make([]*cell.Simulator, len(cfg.Sites))
+	aggs := make([]siteAgg, len(cfg.Sites))
+	active := make([]int, 0, len(cfg.Sites))
+	for si := range cfg.Sites {
+		if len(perSite[si]) == 0 {
+			fleet.EmptySites++
+			continue
+		}
+		sim, err := newSiteSim(cfg, si, perSite[si], newSched)
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.Start(ctx); err != nil {
+			return nil, err
+		}
+		sims[si] = sim
+		active = append(active, si)
+	}
+
+	done := make([]bool, len(cfg.Sites))
+	completed := 0
+	upto := 0
+	for len(active) > 0 {
+		upto += epoch
+		err := pool.ForEachN(ctx, cfg.Workers, len(active), func(ctx context.Context, k int) error {
+			d, err := sims[active[k]].Advance(upto)
+			done[active[k]] = d
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Retire finished sites serially on this goroutine; folds are
+		// per-site, so retire order cannot affect the final metrics.
+		still := active[:0]
+		for _, si := range active {
+			if !done[si] {
+				still = append(still, si)
+				continue
+			}
+			if err := foldSite(&aggs[si], sims[si].Finish(), epoch); err != nil {
+				return nil, err
+			}
+			sims[si] = nil
+			completed++
+		}
+		active = still
+		fleet.Epochs++
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(EpochInfo{
+				Epoch:          fleet.Epochs - 1,
+				UptoSlot:       upto,
+				ActiveSites:    len(active),
+				CompletedSites: completed,
+			})
+		}
+	}
+
+	// Merge per-site aggregates in site index order — for the scalars,
+	// the retained mode's exact summation sequence over PerSite; for the
+	// histograms, an order independent of epoch size and worker count.
+	for si := range aggs {
+		a := &aggs[si]
+		fleet.Users += a.users
+		fleet.Energy += a.energy
+		fleet.TailEnergy += a.tailEnergy
+		fleet.Rebuffer += a.rebuffer
+		fleet.DegradedSlots += a.degradedSlots
+		fleet.ClampEvents += a.clampEvents
+		if a.slots > fleet.Slots {
+			fleet.Slots = a.slots
+		}
+		for e, t := range a.perEpoch {
+			if e >= len(fleet.PerEpoch) {
+				fleet.PerEpoch = append(fleet.PerEpoch, EpochTotals{})
+			}
+			fleet.PerEpoch[e].Energy += t.Energy
+			fleet.PerEpoch[e].Rebuffer += t.Rebuffer
+		}
+		if a.rebufHist != nil {
+			if err := fleet.RebufferPerUser.Merge(a.rebufHist); err != nil {
+				return nil, err
+			}
+			if err := fleet.EnergyPerUser.Merge(a.energyHist); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fleet, nil
+}
+
+// foldSite reduces one finished cell result into its per-site aggregate,
+// after which the result is garbage.
+func foldSite(a *siteAgg, res *cell.Result, epoch int) error {
+	a.users = len(res.Users)
+	a.slots = res.Slots
+	a.energy = res.TotalEnergy()
+	a.tailEnergy = res.TotalTailEnergy()
+	a.rebuffer = res.TotalRebuffer()
+	a.degradedSlots = res.DegradedSlots
+	a.clampEvents = res.ClampEvents
+	nEpochs := (res.Slots + epoch - 1) / epoch
+	if nEpochs > fleetEpochTotalsBudget {
+		nEpochs = fleetEpochTotalsBudget
+	}
+	a.perEpoch = make([]EpochTotals, nEpochs)
+	for n, st := range res.PerSlot {
+		e := n / epoch
+		if e >= nEpochs {
+			break
+		}
+		a.perEpoch[e].Energy += st.Energy
+		a.perEpoch[e].Rebuffer += st.Rebuffer
+	}
+	var err error
+	if a.rebufHist, err = metrics.NewStreamingHist(fleetHistBins, fleetRebufferBinSec); err != nil {
+		return err
+	}
+	if a.energyHist, err = metrics.NewStreamingHist(fleetHistBins, fleetEnergyBinMJ); err != nil {
+		return err
+	}
+	for _, u := range res.Users {
+		a.rebufHist.Observe(float64(u.Rebuffer))
+		a.energyHist.Observe(float64(u.Energy()))
+	}
+	return nil
 }
 
 // assign applies the attachment policy.

@@ -154,3 +154,110 @@ func ForEach[T any](ctx context.Context, workers int, xs []T, fn func(context.Co
 	})
 	return err
 }
+
+// ForEachN runs fn over the index range [0, n) with Map's scheduling,
+// budget and error semantics, but without materializing an input slice
+// or a result slice. It exists for hot repeated fan-outs — the fleet
+// runner's per-epoch tick over hundreds of cells calls this once per
+// epoch, and allocating an index slice plus a discarded result slice
+// each time would be pure garbage-collector load.
+func ForEachN(ctx context.Context, workers, n int, fn func(context.Context, int) error) error {
+	if fn == nil {
+		return fmt.Errorf("pool: nil function")
+	}
+	if n <= 0 {
+		return nil
+	}
+	var extra int
+	if workers <= 0 {
+		extra = acquireExtra(n - 1)
+	} else {
+		if workers > n {
+			workers = n
+		}
+		extra = workers - 1
+		debitExtra(extra)
+	}
+	defer releaseExtra(extra)
+	workers = 1 + extra
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Serial fast path, matching Map's: no extra workers granted means
+	// jobs run inline in index order with no spawns or channel sends.
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			var err error
+			func(i int) {
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("pool: job %d panicked: %v", i, p)
+					}
+				}()
+				if err = fn(ctx, i); err != nil {
+					err = fmt.Errorf("pool: job %d: %w", i, err)
+				}
+			}(i)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	worker := func() {
+		defer wg.Done()
+		for i := range jobs {
+			func(i int) {
+				defer func() {
+					if p := recover(); p != nil {
+						setErr(fmt.Errorf("pool: job %d panicked: %v", i, p))
+					}
+				}()
+				if err := fn(ctx, i); err != nil {
+					setErr(fmt.Errorf("pool: job %d: %w", i, err))
+				}
+			}(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}

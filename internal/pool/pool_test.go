@@ -193,3 +193,69 @@ func ExampleMap() {
 	fmt.Println(squares)
 	// Output: [1 4 9 16]
 }
+
+func TestForEachNCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		const n = 200
+		var hits [n]int32
+		err := ForEachN(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNErrorAndPanic(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForEachN(context.Background(), 2, 50, func(_ context.Context, i int) error {
+		if i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	err = ForEachN(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		if i == 3 {
+			panic("kaput")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not converted: %v", err)
+	}
+	if err := ForEachN(context.Background(), 1, 5, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	if err := ForEachN(context.Background(), 1, 0, func(_ context.Context, _ int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachNRespectsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEachN(ctx, 1, 100, func(_ context.Context, _ int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+	if ran != 0 {
+		t.Fatalf("ran %d jobs after cancellation", ran)
+	}
+}

@@ -1,0 +1,114 @@
+package signal
+
+import (
+	"math"
+	"testing"
+
+	"jointstream/internal/units"
+)
+
+func statelessCfg() SineConfig {
+	return SineConfig{
+		Bounds:      DefaultBounds,
+		PeriodSlots: 600,
+		Phase:       0.7,
+		NoiseStdDBm: 30,
+	}
+}
+
+func TestStatelessSineDeterministicAnyOrder(t *testing.T) {
+	tr, err := NewStatelessSine(statelessCfg(), 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward pass, then a scrambled re-read: a pure function of the slot
+	// must not care about query order or repetition.
+	fwd := make([]units.DBm, 512)
+	for n := range fwd {
+		fwd[n] = tr.At(n)
+	}
+	for _, n := range []int{511, 0, 17, 17, 300, 1, 499} {
+		if got := tr.At(n); got != fwd[n] {
+			t.Fatalf("slot %d: re-read %v != first read %v", n, got, fwd[n])
+		}
+	}
+	// A second trace with the same seed is the same function.
+	tr2, err := NewStatelessSine(statelessCfg(), 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 512; n++ {
+		if got := tr2.At(n); got != fwd[n] {
+			t.Fatalf("slot %d: rebuilt trace %v != original %v", n, got, fwd[n])
+		}
+	}
+}
+
+func TestStatelessSineBoundsAndSeeds(t *testing.T) {
+	a, _ := NewStatelessSine(statelessCfg(), 1)
+	b, _ := NewStatelessSine(statelessCfg(), 2)
+	same := 0
+	for n := 0; n < 1000; n++ {
+		va, vb := a.At(n), b.At(n)
+		for _, v := range []units.DBm{va, vb} {
+			if v < DefaultBounds.Min || v > DefaultBounds.Max {
+				t.Fatalf("slot %d: value %v outside bounds", n, v)
+			}
+		}
+		if va == vb {
+			same++
+		}
+	}
+	// Distinct seeds must decorrelate; clamp saturation makes occasional
+	// collisions legitimate, wholesale agreement is a broken hash.
+	if same > 500 {
+		t.Fatalf("seeds 1 and 2 agree on %d/1000 slots; streams not decorrelated", same)
+	}
+}
+
+func TestStatelessSineZeroNoiseIsPureSine(t *testing.T) {
+	cfg := statelessCfg()
+	cfg.NoiseStdDBm = 0
+	tr, err := NewStatelessSine(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cfg.Bounds
+	for n := 0; n < 100; n++ {
+		want := b.clamp(float64(b.Mid()) + b.Amplitude()*math.Sin(2*math.Pi*float64(n)/float64(cfg.PeriodSlots)+cfg.Phase))
+		if got := tr.At(n); got != want {
+			t.Fatalf("slot %d: %v != analytic sine %v", n, got, want)
+		}
+	}
+}
+
+func TestStatelessSineHasNoMemo(t *testing.T) {
+	tr, err := NewStatelessSine(statelessCfg(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point of the stateless variant: nothing to prewarm, no
+	// per-slot state to grow. Implementing Prewarmer would silently
+	// reintroduce the O(horizon) memo at fleet scale.
+	if _, ok := tr.(Prewarmer); ok {
+		t.Fatal("stateless sine must not implement Prewarmer")
+	}
+}
+
+func TestStatelessSineValidation(t *testing.T) {
+	bad := statelessCfg()
+	bad.PeriodSlots = 0
+	if _, err := NewStatelessSine(bad, 1); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	bad = statelessCfg()
+	bad.NoiseStdDBm = -1
+	if _, err := NewStatelessSine(bad, 1); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+	bad = statelessCfg()
+	bad.Bounds = Bounds{Min: -50, Max: -110}
+	if _, err := NewStatelessSine(bad, 1); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+}

@@ -132,6 +132,14 @@ type Config struct {
 	// exponential interarrival times (extension; the paper starts all
 	// users at slot 0).
 	MeanInterarrival units.Seconds
+	// StatelessSignal builds the per-user traces with
+	// signal.NewStatelessSine instead of the memoizing NewSine: each
+	// trace is a pure function of (seed, slot) holding no per-slot memo,
+	// so the workload's memory footprint is O(users) regardless of the
+	// slot horizon. Fleet-scale deployments (internal/deploy streaming
+	// runs) require this; the noise realization differs from the default
+	// memoized stream, so paper-figure workloads keep the default.
+	StatelessSignal bool
 }
 
 // PaperDefaults returns the §VI evaluation configuration for N users:
@@ -195,7 +203,13 @@ func Generate(c Config, src *rng.Source) ([]*Session, error) {
 		rate := units.KBps(src.Uniform(float64(c.RateMin), float64(c.RateMax)))
 		sigCfg := c.Signal
 		sigCfg.Phase = phaseOffset + 2*math.Pi*float64(i)/float64(c.Users)
-		tr, err := signal.NewSine(sigCfg, src)
+		var tr signal.Trace
+		var err error
+		if c.StatelessSignal {
+			tr, err = signal.NewStatelessSine(sigCfg, src.Uint64())
+		} else {
+			tr, err = signal.NewSine(sigCfg, src)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("workload: user %d signal: %w", i, err)
 		}
