@@ -11,6 +11,11 @@
 // path) and print the per-fault-class report:
 //
 //	jstream-gateway -chaos
+//
+// Run it as a long-lived open-system service — no built-in clients,
+// admission control on, drained gracefully on SIGTERM/SIGINT:
+//
+//	jstream-gateway -serve -max-sessions 64 -headroom 0.8 -http 127.0.0.1:8080
 package main
 
 import (
@@ -20,7 +25,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	ossignal "os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"jointstream/internal/experiments"
@@ -42,10 +49,14 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
 		budget    = flag.Float64("budget", 950, "RTMA energy budget (mJ)")
 		v         = flag.Float64("v", 0.2, "EMA Lyapunov weight")
-		httpAddr  = flag.String("http", "", "serve the monitoring API (healthz/stats/summary) on this address")
+		httpAddr  = flag.String("http", "", "serve the monitoring API (healthz/stats/summary/diag) on this address")
 		ioTimeout = flag.Duration("iotimeout", 30*time.Second, "per-operation read/write deadline on client connections (0 disables)")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos scenario and print the report")
 		chaosSeed = flag.Uint64("chaos-seed", 42, "fault plan seed for -chaos")
+		serve     = flag.Bool("serve", false, "open-system service mode: no built-in clients, run until SIGTERM then drain")
+		maxSess   = flag.Int("max-sessions", 0, "admission control: concurrent session cap (0 disables)")
+		headroom  = flag.Float64("headroom", 0, "admission control: demand headroom as a fraction of capacity (0 disables)")
+		shedMax   = flag.Int("shed-max", 0, "overload shedding: max sessions shed per slot (0 disables)")
 	)
 	flag.Parse()
 	if *chaos {
@@ -55,7 +66,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*schedName, *clients, *videoKB, *slotDur, *addr, *budget, *v, *httpAddr, *ioTimeout); err != nil {
+	opts := runOptions{
+		schedName: *schedName, clients: *clients, videoKB: *videoKB,
+		slotDur: *slotDur, addr: *addr, budget: *budget, v: *v,
+		httpAddr: *httpAddr, ioTimeout: *ioTimeout,
+		serve: *serve, maxSessions: *maxSess, headroom: *headroom, shedMax: *shedMax,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "jstream-gateway:", err)
 		os.Exit(1)
 	}
@@ -90,40 +107,66 @@ func buildScheduler(name string, budget, v float64) (sched.Scheduler, error) {
 	}
 }
 
-func run(schedName string, clients int, videoKB float64, slotDur time.Duration, addr string, budget, v float64, httpAddr string, ioTimeout time.Duration) error {
-	if clients <= 0 {
+type runOptions struct {
+	schedName   string
+	clients     int
+	videoKB     float64
+	slotDur     time.Duration
+	addr        string
+	budget, v   float64
+	httpAddr    string
+	ioTimeout   time.Duration
+	serve       bool
+	maxSessions int
+	headroom    float64
+	shedMax     int
+}
+
+func run(o runOptions) error {
+	if !o.serve && o.clients <= 0 {
 		return fmt.Errorf("need at least one client")
 	}
-	s, err := buildScheduler(schedName, budget, v)
+	s, err := buildScheduler(o.schedName, o.budget, o.v)
 	if err != nil {
 		return err
 	}
+	// Scale the allocation unit with the slot so short slots don't floor
+	// per-slot link budgets to zero units: a 200 KB/s link always earns
+	// at least one unit per slot.
+	unit := units.KB(200 * o.slotDur.Seconds())
+	if unit > 25 {
+		unit = 25
+	}
 	gw, err := gateway.New(gateway.Config{
-		Tau:      units.Seconds(slotDur.Seconds()),
-		Unit:     25,
-		Capacity: 20000,
-		Radio:    radio.Paper3G(),
-		RRC:      rrc.Paper3G(),
-		QueueCap: units.KB(videoKB),
+		Tau:               units.Seconds(o.slotDur.Seconds()),
+		Unit:              unit,
+		Capacity:          20000,
+		Radio:             radio.Paper3G(),
+		RRC:               rrc.Paper3G(),
+		QueueCap:          units.KB(o.videoKB),
+		MaxSessions:       o.maxSessions,
+		AdmitHeadroomFrac: o.headroom,
+		Policy:            gateway.Policy{ShedMaxPerSlot: o.shedMax},
 	}, s)
 	if err != nil {
 		return err
 	}
+	defer gw.Close()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("gateway listening on %s, scheduler=%s, slot=%v\n", ln.Addr(), s.Name(), slotDur)
+	fmt.Printf("gateway listening on %s, scheduler=%s, slot=%v\n", ln.Addr(), s.Name(), o.slotDur)
 
-	if httpAddr != "" {
-		mln, err := net.Listen("tcp", httpAddr)
+	if o.httpAddr != "" {
+		mln, err := net.Listen("tcp", o.httpAddr)
 		if err != nil {
 			return fmt.Errorf("monitoring listener: %w", err)
 		}
 		defer mln.Close()
-		fmt.Printf("monitoring API on http://%s (healthz, stats, summary)\n", mln.Addr())
+		fmt.Printf("monitoring API on http://%s (healthz, stats, summary, diag)\n", mln.Addr())
 		go func() {
 			server := &http.Server{Handler: gateway.Handler(gw)}
 			server.Serve(mln)
@@ -137,7 +180,7 @@ func run(schedName string, clients int, videoKB float64, slotDur time.Duration, 
 				return
 			}
 			if _, err := gateway.AttachConnWith(gw, conn, gateway.ConnOptions{
-				InitialSig: -80, IOTimeout: ioTimeout,
+				InitialSig: -80, IOTimeout: o.ioTimeout,
 			}); err != nil {
 				fmt.Fprintln(os.Stderr, "attach:", err)
 				conn.Close()
@@ -145,11 +188,22 @@ func run(schedName string, clients int, videoKB float64, slotDur time.Duration, 
 		}
 	}()
 
+	// SIGTERM/SIGINT begin the graceful drain: admission closes (new
+	// handshakes get BUSY draining), sessions already in service keep
+	// being served, and the gateway exits when the last one ends.
+	sigCh := make(chan os.Signal, 1)
+	ossignal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer ossignal.Stop(sigCh)
+
 	type clientResult struct {
 		id      int
 		bytes   int64
 		elapsed time.Duration
 		err     error
+	}
+	clients := o.clients
+	if o.serve {
+		clients = 0
 	}
 	done := make(chan clientResult, clients)
 	var wg sync.WaitGroup
@@ -159,25 +213,41 @@ func run(schedName string, clients int, videoKB float64, slotDur time.Duration, 
 			defer wg.Done()
 			start := time.Now()
 			res := clientResult{id: id}
-			res.bytes, res.err = runClient(ln.Addr().String(), uint64(id)+1, units.KB(videoKB))
+			res.bytes, res.err = runClient(ln.Addr().String(), uint64(id)+1, units.KB(o.videoKB))
 			res.elapsed = time.Since(start)
 			done <- res
 		}(i)
 	}
 
-	ticker := time.NewTicker(slotDur)
+	ticker := time.NewTicker(o.slotDur)
 	defer ticker.Stop()
-	deadline := time.After(5 * time.Minute)
-	for !gw.AllDone() || gw.Slot() == 0 {
+	var deadline <-chan time.Time
+	if !o.serve {
+		deadline = time.After(5 * time.Minute)
+	}
+	finished := func() bool {
+		if gw.Draining() {
+			return gw.Drained()
+		}
+		// Service mode without a drain request runs forever; the demo
+		// exits once its built-in clients are served.
+		return !o.serve && gw.AllDone() && gw.Slot() > 0
+	}
+	for !finished() {
 		select {
 		case <-ticker.C:
 			if _, err := gw.Step(); err != nil {
 				return err
 			}
+		case <-sigCh:
+			gw.BeginDrain()
+			fmt.Println("drain: admission closed, serving remaining sessions")
 		case <-deadline:
 			return fmt.Errorf("demo did not complete within 5 minutes")
 		}
 	}
+	ln.Close() // stop accepting before the final report
+
 	wg.Wait()
 	close(done)
 	for res := range done {
@@ -193,7 +263,10 @@ func run(schedName string, clients int, videoKB float64, slotDur time.Duration, 
 			fmt.Printf("user %d: sent=%v energy=%v (tail %v)\n", i, st.SentKB, st.Energy(), st.TailEnergy)
 		}
 	}
-	fmt.Printf("gateway: %d slots\n", gw.Slot())
+	d := gw.Diagnostics()
+	fmt.Printf("gateway: %d slots, admitted=%d rejected=%d shed=%d drained=%d, tick p50=%.2fms p99=%.2fms\n",
+		gw.Slot(), d.Admitted, d.Rejected, d.Shed, d.Drained,
+		gw.TickQuantileMs(0.50), gw.TickQuantileMs(0.99))
 	return nil
 }
 

@@ -410,6 +410,11 @@ type Simulator struct {
 	workers   int        // resolved Config.Workers (0 → GOMAXPROCS)
 	shardSize int        // resolved Config.ShardSize (0 → defaultShardSize)
 	link      *LinkTable // flattened link view; nil → interface path
+	// openTile, when non-nil, is the open-system engine's horizon-free
+	// link window (open.go): an engine-owned slot-major block of analytic
+	// physics rows the static columns alias exactly like a link table's
+	// windows. Mutually exclusive with link; NewOpen installs it.
+	openTile *openTile
 	live      []int      // started, unretired users, ascending index
 	pending   []int      // not-yet-started users, ordered by (StartSlot, index)
 	// unfinished counts users that keep the run going: not started yet,
@@ -487,13 +492,20 @@ func (s *Simulator) outageAt(n int) bool {
 // created fresh, so a Simulator must not be reused across runs — build a
 // new one (schedulers with internal state must also be fresh).
 func New(cfg Config, sessions []*workload.Session, s sched.Scheduler) (*Simulator, error) {
+	return newSim(cfg, sessions, s, false)
+}
+
+// newSim is New's implementation; allowEmpty lets the open-system engine
+// (NewOpen) start with zero sessions — an idle service admitting its
+// whole population mid-run — which is never valid for a closed run.
+func newSim(cfg Config, sessions []*workload.Session, s sched.Scheduler, allowEmpty bool) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if s == nil {
 		return nil, fmt.Errorf("cell: nil scheduler")
 	}
-	if len(sessions) == 0 {
+	if len(sessions) == 0 && !allowEmpty {
 		return nil, fmt.Errorf("cell: no sessions")
 	}
 	sim := &Simulator{
@@ -731,10 +743,19 @@ func (s *Simulator) prepareUser(slotIdx, i int) bool {
 // memory, swapped per slot, never written through. Without a table the
 // columns are engine-owned arrays and prepareColsUser refreshes them.
 func (s *Simulator) attachSlotColumns(n int) {
-	if s.link == nil {
+	if s.link == nil && s.openTile == nil {
 		return
 	}
-	sig, link, epkb, rate, lu := s.link.slotColumns(n)
+	var sig []units.DBm
+	var link, rate []units.KBps
+	var epkb []units.MJ
+	var lu []int32
+	if s.link != nil {
+		sig, link, epkb, rate, lu = s.link.slotColumns(n)
+	} else {
+		s.openTile.ensure(n)
+		sig, link, epkb, rate, lu = s.openTile.slotColumns(n)
+	}
 	s.cols.Sig, s.cols.LinkRate, s.cols.EnergyPerKB = sig, link, epkb
 	s.luCol = lu
 	if s.cfg.ABR == nil {
@@ -742,21 +763,26 @@ func (s *Simulator) attachSlotColumns(n int) {
 	}
 }
 
+// colsTabled reports whether the static physics columns are backed by a
+// precompiled view (link table or open tile), so prepareColsUser reads
+// them instead of evaluating the radio model.
+func (s *Simulator) colsTabled() bool { return s.link != nil || s.openTile != nil }
+
 // prepareColsUser refreshes user i's entries of the SoA slot view for
-// slot slotIdx and reports whether the user is active. With a link table
-// attached the static physics columns already alias the table's slot
-// windows, so only the dynamic columns (activity, buffer, demand, tail)
-// are written; without one the physics are evaluated through the
-// interfaces into the engine-owned columns, bitwise-identically to
-// prepareUser. Writes only user-i entries, so distinct users prepare
-// concurrently.
-func (s *Simulator) prepareColsUser(lt *LinkTable, slotIdx, i int) bool {
+// slot slotIdx and reports whether the user is active. With a tabled
+// view attached (link table or open tile) the static physics columns
+// already alias the precompiled slot windows, so only the dynamic
+// columns (activity, buffer, demand, tail) are written; otherwise the
+// physics are evaluated through the interfaces into the engine-owned
+// columns, bitwise-identically to prepareUser. Writes only user-i
+// entries, so distinct users prepare concurrently.
+func (s *Simulator) prepareColsUser(tabled bool, slotIdx, i int) bool {
 	u := &s.users[i]
 	started := slotIdx >= int(u.startSlot)
 	active := started && !u.buf.DeliveryComplete()
 	c := &s.cols
 	var linkUnits int
-	if lt != nil {
+	if tabled {
 		linkUnits = int(s.luCol[i])
 	} else {
 		sess := s.sessions[i]

@@ -365,7 +365,9 @@ func (s *Simulator) tickSlot(slotIdx int) (bool, error) {
 // O(users) memmove every window slots) and copies values bitwise, so
 // results are unchanged.
 func (s *Simulator) pinPrevColumns(next int) {
-	if s.link != nil && s.link.willEvict(next) {
+	evict := (s.link != nil && s.link.willEvict(next)) ||
+		(s.openTile != nil && s.openTile.willEvict(next))
+	if evict {
 		s.prevEpkbBuf = append(s.prevEpkbBuf[:0], s.cols.EnergyPerKB...)
 		s.prevEpkb = s.prevEpkbBuf
 		if s.cfg.ABR == nil {
@@ -406,7 +408,7 @@ func (s *Simulator) admit(slotIdx int, res *Result) {
 		s.pending = s.pending[1:]
 		s.live = insertSorted(s.live, i)
 		if s.colsSlot == slotIdx {
-			if s.prepareColsUser(s.link, slotIdx, i) {
+			if s.prepareColsUser(s.colsTabled(), slotIdx, i) {
 				s.activeBuf = insertSorted(s.activeBuf, i)
 			}
 			s.alloc[i] = 0

@@ -1,0 +1,844 @@
+// Open-system serving mode: the churn-driven, unbounded-horizon face of
+// the engine (ROADMAP item 2). OpenSim wraps the stepped Simulator
+// (Start/Advance/Finish) and adds what a long-running service needs on
+// top of a closed batch run:
+//
+//   - mid-run admission and departure: sessions/columns are allocated
+//     from a free-list of table slots, departed or completed users are
+//     folded into streaming aggregates and their slots compacted out for
+//     reuse instead of lingering retired;
+//   - an admission controller: a cap on concurrent sessions plus an
+//     Eq.-1-style capacity headroom check (Σ required rates against a
+//     fraction of the base station's serving capacity S), rejecting with
+//     a typed *OverCapacityError instead of degrading everyone;
+//   - an unbounded horizon: the slot clock extends on demand and the
+//     per-slot series is trimmed to the retained metric windows, so
+//     memory is bounded by the session table and the window span, never
+//     by uptime;
+//   - sliding-window metrics: per-session rebuffering and energy totals
+//     land in windowed streaming histograms (metrics.WindowedHist) at
+//     session end, and each window closes with a Result-delta snapshot,
+//     so p50/p99 never require a finalized run;
+//   - tiled link windows (openTile): an engine-owned slot-major block of
+//     analytically computed physics rows the static columns alias
+//     zero-copy, recompiled per window — the open-world replacement for
+//     the horizon-shaped link table, feeding the same tabled prepare
+//     path bit-identical values.
+//
+// Closed-world equivalence is pinned by construction and by test: with
+// no mid-run Admit/Depart calls and a finite horizon, OpenSim drives the
+// very same Simulator through the very same Advance loop, so Finish
+// returns a Result byte-identical to RunCtx (internal/simtest's
+// open-mode differential matrix asserts it across all nine schedulers).
+package cell
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"jointstream/internal/abr"
+	"jointstream/internal/metrics"
+	"jointstream/internal/sched"
+	"jointstream/internal/signal"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// ErrOverCapacity is the sentinel every admission rejection matches via
+// errors.Is; the concrete error is always a *OverCapacityError carrying
+// which limit bound.
+var ErrOverCapacity = errors.New("cell: over capacity")
+
+// OverCapacityError reports an admission rejection: the session-table
+// cap or the capacity headroom check refused a new session.
+type OverCapacityError struct {
+	// Reason is "session-cap" or "headroom".
+	Reason string
+	// InService and MaxSessions describe the session-cap rejection.
+	InService, MaxSessions int
+	// DemandKBps and LimitKBps describe the headroom rejection: the
+	// would-be total required rate versus HeadroomFrac × Capacity.
+	DemandKBps, LimitKBps units.KBps
+}
+
+func (e *OverCapacityError) Error() string {
+	if e.Reason == "session-cap" {
+		return fmt.Sprintf("cell: admission rejected: %d sessions in service at cap %d", e.InService, e.MaxSessions)
+	}
+	return fmt.Sprintf("cell: admission rejected: demand %v KB/s exceeds headroom %v KB/s", e.DemandKBps, e.LimitKBps)
+}
+
+// Is makes errors.Is(err, ErrOverCapacity) match.
+func (e *OverCapacityError) Is(target error) bool { return target == ErrOverCapacity }
+
+// OpenConfig parameterizes an open-system run.
+type OpenConfig struct {
+	// Cell is the engine configuration. Open mode always evaluates the
+	// radio model analytically (or through the open tile below) — the
+	// horizon-shaped link table cannot follow mid-run admissions — so
+	// Link/LinkTileSlots/LinkTableMaxRows are overridden; the LUT
+	// exactness property keeps results bit-identical to the tabled path.
+	// For churn-driven runs set Cell.RunFullHorizon: without it the
+	// engine's early exit declares the run over the moment every
+	// *currently admitted* session finishes, wedging later arrivals.
+	Cell Config
+	// Unbounded serves indefinitely: AdvanceTo extends the slot horizon
+	// on demand (Cell.MaxSlots only sets the initial clock) and the
+	// per-slot series is trimmed to the retained metric windows. Requires
+	// Cell.RunFullHorizon, forbids Cell.RecordPerUserSlots, and every
+	// session must be memory-bounded: a stateless signal trace (no
+	// signal.Prewarmer memo) and zero RateJitter.
+	Unbounded bool
+	// MaxSessions caps concurrent in-service sessions (the admission
+	// controller's first check) and sizes the open tile. 0 means no cap
+	// (and forbids TileSlots).
+	MaxSessions int
+	// HeadroomFrac enables the Eq.-1-style admission check: a new session
+	// is rejected when the summed required rate of every in-service
+	// session plus its own would exceed HeadroomFrac × Cell.Capacity.
+	// 0 disables the check.
+	HeadroomFrac float64
+	// TileSlots, when positive, installs the open link tile: physics rows
+	// for a TileSlots-slot window × MaxSessions users are computed per
+	// window and aliased by the slot columns, so per-slot prepare skips
+	// the radio interfaces exactly like the closed engine's link table.
+	// Requires MaxSessions > 0. Values are bit-identical to the analytic
+	// path by construction.
+	TileSlots int
+	// WindowSlots is the metric window length in slots (default 256).
+	WindowSlots int
+	// Windows is how many windows the sliding metrics retain (default 4).
+	Windows int
+	// HistBins and RebufferBinWidth/EnergyBinWidth parameterize the
+	// windowed histograms (defaults: 64 bins, width max(Tau, 1) seconds
+	// for rebuffering, 1024 mJ for energy; widths auto-widen).
+	HistBins                         int
+	RebufferBinWidth, EnergyBinWidth float64
+}
+
+// OpenStats are the open-system run's cumulative counters.
+type OpenStats struct {
+	// Slot is the next slot the engine will tick.
+	Slot int
+	// InService counts admitted sessions not yet ended (live + pending).
+	InService int
+	// TableLen and FreeSlots describe the session table: occupied slots
+	// are TableLen − FreeSlots.
+	TableLen, FreeSlots int
+	// Admitted/Rejected/Departed/Completed count sessions over the whole
+	// run: admissions (initial population included), typed over-capacity
+	// rejections, explicit departures, and natural completions.
+	Admitted, Rejected, Departed, Completed int
+	// Ended totals fold every ended session's lifetime records — the
+	// aggregates that survive slot compaction.
+	EndedEnergy      units.MJ
+	EndedRebuffer    units.Seconds
+	EndedDeliveredKB units.KB
+	// DemandKBps is the summed required rate of in-service sessions (the
+	// headroom check's live side).
+	DemandKBps units.KBps
+}
+
+// WindowSnapshot is one closed metric window: the Result delta over its
+// slots plus the sliding-window session quantiles at close time.
+type WindowSnapshot struct {
+	// FromSlot/ToSlot bound the window [FromSlot, ToSlot).
+	FromSlot, ToSlot int
+	// Energy/Rebuffer/UsedUnits are the per-slot Result deltas summed
+	// over the window.
+	Energy    units.MJ
+	Rebuffer  units.Seconds
+	UsedUnits int
+	// SessionsEnded counts sessions folded (completed or departed)
+	// during the window.
+	SessionsEnded int
+	// RebufferP50/P99 and EnergyP50/P99 are session-lifetime quantiles
+	// over every retained window at close time (the sliding view).
+	RebufferP50, RebufferP99 float64
+	EnergyP50, EnergyP99     float64
+}
+
+// OpenSim is the open-system engine. It is not safe for concurrent use;
+// Admit/Depart mutate engine state and must only be called between
+// AdvanceTo calls (slot boundaries), never concurrently with one.
+type OpenSim struct {
+	eng *Simulator
+	cfg OpenConfig
+
+	maxSessions int
+	headroomKB  units.KBps // 0 = disabled
+	unbounded   bool
+
+	freelist []int    // freed table slots, ascending
+	ended    []bool   // per table slot: session folded (completed/departed)
+	serials  []uint64 // per table slot: admission serial of the resident session
+	lastSer  uint64
+
+	windowSlots int
+	windows     int // retained metric windows (snapshots + hist span)
+	windowStart int // first slot of the live window
+	perSlotBase int // slot index PerSlot[0] corresponds to (trimming offset)
+	endedInWin  int
+	rebufHist   *metrics.WindowedHist
+	energyHist  *metrics.WindowedHist
+	snaps       []WindowSnapshot // retained closed windows, oldest first
+
+	stats   OpenStats
+	started bool
+}
+
+const (
+	defaultWindowSlots = 256
+	defaultWindows     = 4
+	defaultHistBins    = 64
+)
+
+// NewOpen builds an open-system engine over the initial session
+// population (which may be empty) and scheduler. The initial sessions
+// are admitted through the same controller mid-run arrivals face, so an
+// over-capacity initial population fails construction with the typed
+// error.
+func NewOpen(cfg OpenConfig, initial []*workload.Session, s sched.Scheduler) (*OpenSim, error) {
+	cc := cfg.Cell
+	// The horizon-shaped link table cannot cover sessions admitted later;
+	// open mode runs the analytic path (or its own tile), bit-identical
+	// by the LUT exactness property.
+	cc.Link = nil
+	cc.LinkTileSlots = 0
+	cc.LinkTableMaxRows = -1
+	if cfg.Unbounded {
+		if !cc.RunFullHorizon {
+			return nil, fmt.Errorf("cell: unbounded open mode requires RunFullHorizon")
+		}
+		if cc.RecordPerUserSlots {
+			return nil, fmt.Errorf("cell: unbounded open mode cannot record per-user slot samples")
+		}
+	}
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("cell: negative session cap %d", cfg.MaxSessions)
+	}
+	if cfg.TileSlots < 0 {
+		return nil, fmt.Errorf("cell: negative open tile window %d", cfg.TileSlots)
+	}
+	if cfg.TileSlots > 0 && cfg.MaxSessions == 0 {
+		return nil, fmt.Errorf("cell: open tile requires a session cap (MaxSessions)")
+	}
+	if cfg.HeadroomFrac < 0 {
+		return nil, fmt.Errorf("cell: negative headroom fraction %v", cfg.HeadroomFrac)
+	}
+	if len(initial) == 0 && !cc.RunFullHorizon {
+		// With no sessions admitted the early exit would declare the run
+		// over on the first tick, before any arrival gets in.
+		return nil, fmt.Errorf("cell: an empty initial population requires RunFullHorizon")
+	}
+	o := &OpenSim{
+		cfg:         cfg,
+		maxSessions: cfg.MaxSessions,
+		unbounded:   cfg.Unbounded,
+		windowSlots: cfg.WindowSlots,
+	}
+	if o.windowSlots <= 0 {
+		o.windowSlots = defaultWindowSlots
+	}
+	if cfg.HeadroomFrac > 0 {
+		o.headroomKB = units.KBps(cfg.HeadroomFrac * float64(cc.Capacity))
+	}
+	o.windows = cfg.Windows
+	if o.windows <= 0 {
+		o.windows = defaultWindows
+	}
+	windows := o.windows
+	bins := cfg.HistBins
+	if bins <= 0 {
+		bins = defaultHistBins
+	}
+	rbw := cfg.RebufferBinWidth
+	if rbw <= 0 {
+		rbw = float64(cc.Tau)
+		if rbw < 1 {
+			rbw = 1
+		}
+	}
+	ebw := cfg.EnergyBinWidth
+	if ebw <= 0 {
+		ebw = 1024
+	}
+	var err error
+	if o.rebufHist, err = metrics.NewWindowedHist(windows, bins, rbw); err != nil {
+		return nil, err
+	}
+	if o.energyHist, err = metrics.NewWindowedHist(windows, bins, ebw); err != nil {
+		return nil, err
+	}
+
+	// Vet the initial population through the same admission controller a
+	// mid-run arrival faces.
+	var demand units.KBps
+	for i, sess := range initial {
+		if err := o.admissible(i, demand, sess); err != nil {
+			return nil, fmt.Errorf("cell: initial session %d: %w", i, err)
+		}
+		if err := o.vetSession(sess); err != nil {
+			return nil, err
+		}
+		demand += sess.BaseRate
+	}
+	eng, err := newSim(cc, initial, s, true)
+	if err != nil {
+		return nil, err
+	}
+	o.eng = eng
+	if cfg.TileSlots > 0 {
+		eng.openTile = newOpenTile(eng, cfg.TileSlots, cfg.MaxSessions)
+	}
+	o.ended = make([]bool, len(initial))
+	o.serials = make([]uint64, len(initial))
+	for i := range o.serials {
+		o.lastSer++
+		o.serials[i] = o.lastSer
+	}
+	o.stats.Admitted = len(initial)
+	o.stats.InService = len(initial)
+	o.stats.DemandKBps = demand
+	return o, nil
+}
+
+// admissible applies the admission controller against the given
+// in-service count and demand.
+func (o *OpenSim) admissible(inService int, demand units.KBps, sess *workload.Session) error {
+	if o.maxSessions > 0 && inService >= o.maxSessions {
+		return &OverCapacityError{Reason: "session-cap", InService: inService, MaxSessions: o.maxSessions}
+	}
+	if o.headroomKB > 0 && demand+sess.BaseRate > o.headroomKB {
+		return &OverCapacityError{Reason: "headroom", DemandKBps: demand + sess.BaseRate, LimitKBps: o.headroomKB}
+	}
+	return nil
+}
+
+// vetSession enforces the unbounded mode's bounded-memory contract.
+func (o *OpenSim) vetSession(sess *workload.Session) error {
+	if !o.unbounded {
+		return nil
+	}
+	if _, memoized := sess.Signal.(signal.Prewarmer); memoized {
+		return fmt.Errorf("cell: unbounded open mode requires stateless signal traces (session %d has a memoizing trace)", sess.ID)
+	}
+	if sess.RateJitter != 0 {
+		return fmt.Errorf("cell: unbounded open mode forbids VBR sessions (session %d has rate jitter)", sess.ID)
+	}
+	return nil
+}
+
+// Start begins the run. Like the closed engine, an OpenSim is
+// single-use.
+func (o *OpenSim) Start(ctx context.Context) error {
+	if err := o.eng.Start(ctx); err != nil {
+		return err
+	}
+	o.started = true
+	return nil
+}
+
+// Clock returns the next slot the engine will tick.
+func (o *OpenSim) Clock() int { return o.eng.nextSlot }
+
+// Admit adds a session mid-run, allocating its table slot from the
+// free-list (compacted departures) or growing the table. The session's
+// StartSlot is clamped to the current clock — arrivals cannot start in
+// the past — and may be in the future. Returns the assigned user index,
+// or a typed *OverCapacityError (matching ErrOverCapacity) when the
+// admission controller refuses. Call only between AdvanceTo calls.
+func (o *OpenSim) Admit(sess *workload.Session) (int, error) {
+	if !o.started {
+		return 0, fmt.Errorf("cell: Admit before Start")
+	}
+	if o.eng.stepDone && !o.unbounded {
+		return 0, fmt.Errorf("cell: engine finished (set RunFullHorizon for churn-driven runs)")
+	}
+	if o.eng.cfg.RecordPerUserSlots {
+		return 0, fmt.Errorf("cell: mid-run admission is incompatible with RecordPerUserSlots (table slots are reused)")
+	}
+	if err := o.admissible(o.stats.InService, o.stats.DemandKBps, sess); err != nil {
+		o.stats.Rejected++
+		return 0, err
+	}
+	if err := o.vetSession(sess); err != nil {
+		return 0, err
+	}
+	// Prefer a freed slot; when none is free and the table is at the
+	// session cap, reap retired-but-unreclaimed sessions before growing.
+	if len(o.freelist) == 0 && o.maxSessions > 0 && len(o.eng.users) >= o.maxSessions {
+		o.reap()
+	}
+	s := o.eng
+	start := sess.StartSlot
+	if start < s.nextSlot {
+		start = s.nextSlot
+	}
+	clone := *sess
+	clone.StartSlot = start
+
+	o.lastSer++
+	var idx int
+	if len(o.freelist) > 0 {
+		idx = o.freelist[0]
+		o.freelist = o.freelist[1:]
+		o.reuseSlot(idx, &clone)
+		o.serials[idx] = o.lastSer
+	} else {
+		if s.openTile != nil && len(s.users) >= o.maxSessions {
+			// The tile's slot-major layout is sized for MaxSessions rows;
+			// it cannot grow past the cap even transiently.
+			o.stats.Rejected++
+			return 0, &OverCapacityError{Reason: "session-cap", InService: o.stats.InService, MaxSessions: o.maxSessions}
+		}
+		idx = len(s.users)
+		if err := o.appendSlot(&clone); err != nil {
+			return 0, err
+		}
+		o.serials = append(o.serials, o.lastSer)
+	}
+	clone.ID = idx
+
+	if !o.unbounded {
+		// Bounded mode may carry memoized traces and VBR sessions: extend
+		// their memos to the horizon like New does for the initial set.
+		clone.Prewarm(s.cfg.MaxSlots)
+	}
+	if s.openTile != nil {
+		s.openTile.fillUser(idx, &clone)
+		if s.colsSlot == s.nextSlot {
+			// The next slot's columns are already prepared (fused pass):
+			// re-alias the static columns so they cover the grown table.
+			s.attachSlotColumns(s.nextSlot)
+		}
+	}
+	o.insertPending(idx, start)
+	s.unfinished++
+	o.stats.Admitted++
+	o.stats.InService++
+	o.stats.DemandKBps += clone.BaseRate
+	return idx, nil
+}
+
+// reuseSlot resets table slot idx for a new session.
+func (o *OpenSim) reuseSlot(idx int, sess *workload.Session) {
+	s := o.eng
+	s.sessions[idx] = sess
+	s.users[idx] = userState{startSlot: int32(sess.StartSlot)}
+	o.initBuffer(idx, sess)
+	s.curRes.Users[idx] = UserTotals{CompletionSlot: -1}
+	s.alloc[idx] = 0
+	o.ended[idx] = false
+	if s.abrCtls != nil {
+		ctl, _ := abr.NewController(*s.cfg.ABR) // validated by Config.Validate
+		s.abrCtls[idx] = ctl
+	}
+}
+
+// appendSlot grows every per-user array for one more session.
+func (o *OpenSim) appendSlot(sess *workload.Session) error {
+	s := o.eng
+	idx := len(s.users)
+	s.sessions = append(s.sessions, sess)
+	s.users = append(s.users, userState{startSlot: int32(sess.StartSlot)})
+	o.initBuffer(idx, sess)
+	s.alloc = append(s.alloc, 0)
+	s.curRes.Users = append(s.curRes.Users, UserTotals{CompletionSlot: -1})
+	o.ended = append(o.ended, false)
+	c := &s.cols
+	c.Active = append(c.Active, false)
+	c.BufferSec = append(c.BufferSec, 0)
+	c.RemainingKB = append(c.RemainingKB, 0)
+	c.TailGap = append(c.TailGap, 0)
+	c.NeverActive = append(c.NeverActive, false)
+	c.MaxUnits = append(c.MaxUnits, 0)
+	if s.openTile == nil {
+		// Engine-owned static columns (analytic path).
+		c.Sig = append(c.Sig, 0)
+		c.LinkRate = append(c.LinkRate, 0)
+		c.EnergyPerKB = append(c.EnergyPerKB, 0)
+		c.Rate = append(c.Rate, 0)
+	} else if s.cfg.ABR != nil {
+		// Under ABR the Rate column stays engine-owned even when the
+		// other static columns alias the tile.
+		c.Rate = append(c.Rate, 0)
+	}
+	if s.abrCtls != nil {
+		ctl, err := abr.NewController(*s.cfg.ABR)
+		if err != nil {
+			return err
+		}
+		s.abrCtls = append(s.abrCtls, ctl)
+	}
+	return nil
+}
+
+// initBuffer (re)initializes user idx's playout buffer for sess.
+func (o *OpenSim) initBuffer(idx int, sess *workload.Session) {
+	s := o.eng
+	u := &s.users[idx]
+	if s.cfg.ABR != nil {
+		_ = u.buf.InitSeconds(sess.Duration())
+	} else {
+		_ = u.buf.Init(sess.Size, sess.Duration())
+	}
+}
+
+// insertPending inserts idx into the pending list keeping the engine's
+// (StartSlot, index) admission order.
+func (o *OpenSim) insertPending(idx, start int) {
+	s := o.eng
+	pos := len(s.pending)
+	for k, j := range s.pending {
+		js := int(s.users[j].startSlot)
+		if js > start || (js == start && j > idx) {
+			pos = k
+			break
+		}
+	}
+	s.pending = append(s.pending, 0)
+	copy(s.pending[pos+1:], s.pending[pos:])
+	s.pending[pos] = idx
+}
+
+// Serial returns the admission serial of the session resident in table
+// slot id, or ok=false when the slot is free or the session has ended.
+// Table slots are reused, so a caller holding an index across AdvanceTo
+// calls must compare serials before acting on it — the session it meant
+// may have completed and the slot may now host a different one.
+func (o *OpenSim) Serial(id int) (uint64, bool) {
+	if id < 0 || id >= len(o.serials) || o.ended[id] || o.eng.sessions[id] == nil {
+		return 0, false
+	}
+	return o.serials[id], true
+}
+
+// DepartSerial is Depart guarded against slot reuse: it departs table
+// slot id only if it still hosts the session with admission serial ser.
+// It reports whether a departure happened; a stale serial (the session
+// already ended, and possibly a new one moved in) is a no-op, not an
+// error — exactly what a churn driver wants when a planned abandonment
+// races a natural completion.
+func (o *OpenSim) DepartSerial(id int, ser uint64) (bool, error) {
+	cur, ok := o.Serial(id)
+	if !ok || cur != ser {
+		return false, nil
+	}
+	if err := o.Depart(id); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Depart removes session id mid-run: its lifetime totals are folded into
+// the streaming aggregates and its table slot is freed for reuse. Call
+// only between AdvanceTo calls. Departing an already-ended session is an
+// error.
+func (o *OpenSim) Depart(id int) error {
+	if !o.started {
+		return fmt.Errorf("cell: Depart before Start")
+	}
+	s := o.eng
+	if id < 0 || id >= len(s.users) || o.ended[id] || s.sessions[id] == nil {
+		return fmt.Errorf("cell: depart of unknown or ended session %d", id)
+	}
+	u := &s.users[id]
+	wasRetired := u.retired
+	if !wasRetired {
+		// An in-flight (or pending) session leaves: it will never finish.
+		if !u.buf.PlaybackComplete() {
+			s.unfinished--
+		}
+		s.pending = removeValue(s.pending, id)
+		s.live = removeSortedValue(s.live, id)
+		u.retired = true
+		// Zero the dynamic columns and allocation so a stale Active flag
+		// can never leak into a later slot (mirrors dropRetired).
+		c := &s.cols
+		c.Active[id] = false
+		c.BufferSec[id] = 0
+		c.RemainingKB[id] = 0
+		c.TailGap[id] = 0
+		c.NeverActive[id] = false
+		c.MaxUnits[id] = 0
+		s.alloc[id] = 0
+		if s.colsSlot == s.nextSlot {
+			// The fused pass prepared the next slot with this user possibly
+			// active: splice it out of the prepared active list.
+			s.activeBuf = removeSortedValue(s.activeBuf, id)
+		}
+	}
+	// A session the engine already retired finished its work; departing
+	// it merely reaps early, so it still counts as completed.
+	o.fold(id, wasRetired)
+	return nil
+}
+
+// fold records session id's lifetime totals into the streaming
+// aggregates and frees its table slot. completed selects the natural-
+// completion counters; otherwise the session is counted as departed.
+func (o *OpenSim) fold(id int, completed bool) {
+	s := o.eng
+	ru := &s.curRes.Users[id]
+	o.rebufHist.Observe(float64(ru.Rebuffer))
+	o.energyHist.Observe(float64(ru.Energy()))
+	o.stats.EndedEnergy += ru.Energy()
+	o.stats.EndedRebuffer += ru.Rebuffer
+	o.stats.EndedDeliveredKB += ru.DeliveredKB
+	if completed {
+		o.stats.Completed++
+	} else {
+		o.stats.Departed++
+	}
+	o.stats.InService--
+	o.stats.DemandKBps -= s.sessions[id].BaseRate
+	o.endedInWin++
+	o.ended[id] = true
+	s.sessions[id] = nil // occupancy signal for the tile; slot is reusable
+	o.freelist = insertSorted(o.freelist, id)
+	o.stats.FreeSlots = len(o.freelist)
+}
+
+// reap folds sessions the engine retired (playback + delivery complete,
+// tail drained) since the last call, freeing their table slots.
+func (o *OpenSim) reap() {
+	s := o.eng
+	for i := range s.users {
+		if s.users[i].retired && !o.ended[i] && s.sessions[i] != nil {
+			o.fold(i, true)
+		}
+	}
+}
+
+// AdvanceTo ticks the engine up to (but not including) slot upto,
+// reaps completed sessions, and closes any metric windows the clock
+// crossed. In unbounded mode the horizon extends automatically and done
+// is never true; in bounded mode done reports the closed engine's
+// condition (horizon reached, or — without RunFullHorizon — every
+// session finished).
+func (o *OpenSim) AdvanceTo(upto int) (bool, error) {
+	if !o.started {
+		return false, fmt.Errorf("cell: AdvanceTo before Start")
+	}
+	if o.unbounded && upto >= o.eng.cfg.MaxSlots {
+		// Extend the horizon with a window of headroom. RunFullHorizon is
+		// required in unbounded mode, so a stepDone here can only mean the
+		// old horizon was reached — clear it and keep serving.
+		o.eng.cfg.MaxSlots = upto + o.windowSlots
+		o.eng.stepDone = false
+	}
+	done, err := o.eng.Advance(upto)
+	if err != nil {
+		return done, err
+	}
+	o.reap()
+	o.rotateWindows()
+	if o.unbounded {
+		done = false
+	}
+	return done, nil
+}
+
+// rotateWindows closes every whole metric window the clock has passed:
+// snapshot the window's Result delta, record the sliding quantiles, and
+// (in unbounded mode) trim the per-slot series to the retained span.
+func (o *OpenSim) rotateWindows() {
+	s := o.eng
+	for s.nextSlot >= o.windowStart+o.windowSlots {
+		from, to := o.windowStart, o.windowStart+o.windowSlots
+		snap := WindowSnapshot{FromSlot: from, ToSlot: to, SessionsEnded: o.endedInWin}
+		for n := from; n < to; n++ {
+			k := n - o.perSlotBase
+			if k < 0 || k >= len(s.curRes.PerSlot) {
+				continue // early-exit runs tick fewer slots than the clock
+			}
+			st := &s.curRes.PerSlot[k]
+			snap.Energy += st.Energy
+			snap.Rebuffer += st.Rebuffer
+			snap.UsedUnits += st.UsedUnits
+		}
+		snap.RebufferP50 = o.rebufHist.Quantile(0.5)
+		snap.RebufferP99 = o.rebufHist.Quantile(0.99)
+		snap.EnergyP50 = o.energyHist.Quantile(0.5)
+		snap.EnergyP99 = o.energyHist.Quantile(0.99)
+		o.snaps = append(o.snaps, snap)
+		if len(o.snaps) > o.windows {
+			o.snaps = o.snaps[len(o.snaps)-o.windows:]
+		}
+		o.rebufHist.Rotate()
+		o.energyHist.Rotate()
+		o.endedInWin = 0
+		o.windowStart = to
+	}
+	if o.unbounded {
+		// Trim PerSlot to the retained window span so an indefinite run's
+		// slot series stays bounded. Bounded runs keep the full series —
+		// Finish must return the byte-identical closed-world Result.
+		keepFrom := o.windowStart - (o.windows-1)*o.windowSlots
+		if keepFrom > o.perSlotBase {
+			drop := keepFrom - o.perSlotBase
+			if drop > len(s.curRes.PerSlot) {
+				drop = len(s.curRes.PerSlot)
+			}
+			s.curRes.PerSlot = s.curRes.PerSlot[drop:]
+			o.perSlotBase += drop
+		}
+	}
+}
+
+// Snapshots returns a copy of the retained closed-window snapshots,
+// oldest first.
+func (o *OpenSim) Snapshots() []WindowSnapshot {
+	out := make([]WindowSnapshot, len(o.snaps))
+	copy(out, o.snaps)
+	return out
+}
+
+// RebufferQuantile returns the q-th quantile of session-lifetime
+// rebuffering over the retained windows (sessions ended in them).
+func (o *OpenSim) RebufferQuantile(q float64) float64 { return o.rebufHist.Quantile(q) }
+
+// EnergyQuantile returns the q-th quantile of session-lifetime energy
+// over the retained windows.
+func (o *OpenSim) EnergyQuantile(q float64) float64 { return o.energyHist.Quantile(q) }
+
+// Stats returns the cumulative open-run counters.
+func (o *OpenSim) Stats() OpenStats {
+	st := o.stats
+	st.Slot = o.eng.nextSlot
+	st.TableLen = len(o.eng.users)
+	st.FreeSlots = len(o.freelist)
+	return st
+}
+
+// Finish folds every session still in service (a run can end with
+// playback complete but RRC tails undrained, which never engine-retires
+// the user — those count as completed; truly unfinished ones count as
+// departed), then finalizes and returns the engine Result. In bounded
+// mode with no mid-run churn the Result is byte-identical to RunCtx on
+// the same inputs; in unbounded mode PerSlot holds only the retained
+// window span (the trimmed prefix lives in the window snapshots) and
+// per-user entries of reused table slots describe only their latest
+// session.
+func (o *OpenSim) Finish() *Result {
+	s := o.eng
+	for i := range s.users {
+		if !o.ended[i] && s.sessions[i] != nil {
+			o.fold(i, s.users[i].buf.PlaybackComplete())
+		}
+	}
+	return s.Finish()
+}
+
+// removeValue deletes the first occurrence of v from xs (order kept).
+func removeValue(xs []int, v int) []int {
+	for k, x := range xs {
+		if x == v {
+			copy(xs[k:], xs[k+1:])
+			return xs[:len(xs)-1]
+		}
+	}
+	return xs
+}
+
+// removeSortedValue deletes v from ascending-sorted xs if present.
+func removeSortedValue(xs []int, v int) []int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(xs) && xs[lo] == v {
+		copy(xs[lo:], xs[lo+1:])
+		return xs[:len(xs)-1]
+	}
+	return xs
+}
+
+// openTile is the open-system engine's horizon-free link window: a
+// slot-major block of analytic physics rows (signal, throughput, energy
+// price, required rate, Eq. (1) link units) covering `window` slots ×
+// `cap` table rows, recompiled in place as the clock crosses window
+// boundaries — ring-buffered link state whose memory never depends on
+// uptime. attachSlotColumns aliases a slot's rows zero-copy, exactly
+// like the closed engine's link-table windows; the values are computed
+// with the same expressions prepareColsUser's analytic branch uses, so
+// the tiled and analytic paths are bit-identical.
+type openTile struct {
+	sim    *Simulator
+	window int
+	cap    int
+	base   int // first slot of the resident window; -1 = none
+
+	sig   []units.DBm
+	linkR []units.KBps
+	epkb  []units.MJ
+	rate  []units.KBps
+	lu    []int32
+}
+
+func newOpenTile(sim *Simulator, window, capSessions int) *openTile {
+	size := window * capSessions
+	return &openTile{
+		sim: sim, window: window, cap: capSessions, base: -1,
+		sig:   make([]units.DBm, size),
+		linkR: make([]units.KBps, size),
+		epkb:  make([]units.MJ, size),
+		rate:  make([]units.KBps, size),
+		lu:    make([]int32, size),
+	}
+}
+
+// willEvict reports whether attaching slot n recompiles the window.
+func (t *openTile) willEvict(n int) bool {
+	return t.base < 0 || n < t.base || n >= t.base+t.window
+}
+
+// ensure makes the resident window cover slot n, recompiling rows for
+// every occupied table slot on a crossing. Windows are aligned to
+// multiples of the window length so boundaries are stable.
+func (t *openTile) ensure(n int) {
+	if !t.willEvict(n) {
+		return
+	}
+	t.base = n - n%t.window
+	for i, sess := range t.sim.sessions {
+		if sess != nil {
+			t.fillUser(i, sess)
+		}
+	}
+}
+
+// fillUser (re)computes user i's rows for the resident window — called
+// on window crossings and when a session is admitted mid-window.
+func (t *openTile) fillUser(i int, sess *workload.Session) {
+	if t.base < 0 {
+		return
+	}
+	cfg := &t.sim.cfg
+	tau, unit := float64(cfg.Tau), float64(cfg.Unit)
+	for off := 0; off < t.window; off++ {
+		slot := t.base + off
+		sig := sess.Signal.At(slot)
+		link := cfg.Radio.Throughput.Throughput(sig)
+		k := off*t.cap + i
+		t.sig[k] = sig
+		t.linkR[k] = link
+		t.epkb[k] = cfg.Radio.Power.EnergyPerKB(sig)
+		t.rate[k] = sess.RateAt(slot)
+		t.lu[k] = int32(floorUnits(float64(link)*tau, unit))
+	}
+}
+
+// slotColumns returns slot n's rows as length-len(users) column slices.
+func (t *openTile) slotColumns(n int) ([]units.DBm, []units.KBps, []units.MJ, []units.KBps, []int32) {
+	off := (n - t.base) * t.cap
+	m := len(t.sim.users)
+	return t.sig[off : off+m], t.linkR[off : off+m], t.epkb[off : off+m], t.rate[off : off+m], t.lu[off : off+m]
+}

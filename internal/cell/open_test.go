@@ -1,0 +1,455 @@
+package cell
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"jointstream/internal/rng"
+	"jointstream/internal/sched"
+	"jointstream/internal/signal"
+	"jointstream/internal/units"
+	"jointstream/internal/workload"
+)
+
+// openSessions builds a deterministic mixed workload: varying sizes,
+// rates, signal levels and staggered starts, all on stateless traces.
+func openSessions(n int) []*workload.Session {
+	ss := make([]*workload.Session, n)
+	for i := 0; i < n; i++ {
+		ss[i] = &workload.Session{
+			ID:        i,
+			Size:      units.KB(800 + 150*i),
+			BaseRate:  units.KBps(300 + 40*(i%3)),
+			StartSlot: (i % 4) * 7,
+			Signal:    signal.Constant(units.DBm(-55-float64(3*i)), signal.DefaultBounds),
+		}
+	}
+	return ss
+}
+
+// close1 compares floats up to summation-order noise.
+func close1(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if m := a; m > scale {
+		scale = m
+	}
+	return d <= 1e-9*scale
+}
+
+func runOpen(t *testing.T, o *OpenSim, upto int) *Result {
+	t.Helper()
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AdvanceTo(upto); err != nil {
+		t.Fatal(err)
+	}
+	return o.Finish()
+}
+
+// With no churn and a finite horizon, the open engine must return a
+// Result byte-identical to the closed Run on the same inputs — open mode
+// drives the very same stepped engine.
+func TestOpenClosedEquivalence(t *testing.T) {
+	cfg := tinyConfig()
+	closed, err := New(cfg, openSessions(6), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := closed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o, err := NewOpen(OpenConfig{Cell: cfg}, openSessions(6), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runOpen(t, o, cfg.MaxSlots)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("open result differs from closed run:\nclosed: %+v\nopen:   %+v", want.TotalEnergy(), got.TotalEnergy())
+	}
+	st := o.Stats()
+	if st.Completed != 6 || st.InService != 0 || st.Admitted != 6 {
+		t.Fatalf("stats after full run: %+v", st)
+	}
+	// Folded totals accumulate in completion order, the result totals in
+	// user order: equal up to float summation order.
+	if !close1(float64(st.EndedEnergy), float64(want.TotalEnergy())) ||
+		!close1(float64(st.EndedRebuffer), float64(want.TotalRebuffer())) {
+		t.Fatalf("folded totals (E=%v R=%v) differ from result totals (E=%v R=%v)",
+			st.EndedEnergy, st.EndedRebuffer, want.TotalEnergy(), want.TotalRebuffer())
+	}
+}
+
+// The open tile must be an invisible optimization: the same run with and
+// without it, including mid-run churn, yields byte-identical results.
+func TestOpenTileMatchesAnalytic(t *testing.T) {
+	script := func(tileSlots int) (*Result, OpenStats) {
+		cfg := tinyConfig()
+		cfg.RunFullHorizon = true
+		cfg.MaxSlots = 160
+		o, err := NewOpen(OpenConfig{Cell: cfg, MaxSessions: 8, TileSlots: tileSlots}, openSessions(3), sched.NewDefault())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.AdvanceTo(10); err != nil {
+			t.Fatal(err)
+		}
+		late := openSessions(5)
+		if _, err := o.Admit(late[3]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.AdvanceTo(30); err != nil {
+			t.Fatal(err)
+		}
+		idx, err := o.Admit(late[4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Depart(idx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.AdvanceTo(cfg.MaxSlots); err != nil {
+			t.Fatal(err)
+		}
+		return o.Finish(), o.Stats()
+	}
+	resA, stA := script(0)
+	resB, stB := script(16)
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("tiled open run differs from analytic:\nanalytic: %+v\ntiled:    %+v", resA.TotalEnergy(), resB.TotalEnergy())
+	}
+	if stA != stB {
+		t.Fatalf("stats differ: analytic %+v, tiled %+v", stA, stB)
+	}
+}
+
+func TestOpenSessionCap(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RunFullHorizon = true
+	if _, err := NewOpen(OpenConfig{Cell: cfg, MaxSessions: 2}, openSessions(3), sched.NewDefault()); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("over-cap initial population: got %v, want ErrOverCapacity", err)
+	}
+
+	o, err := NewOpen(OpenConfig{Cell: cfg, MaxSessions: 2}, openSessions(2), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	extra := openSessions(3)[2]
+	_, err = o.Admit(extra)
+	var oc *OverCapacityError
+	if !errors.As(err, &oc) || oc.Reason != "session-cap" {
+		t.Fatalf("admit at cap: got %v, want session-cap OverCapacityError", err)
+	}
+	if st := o.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	// A departure frees a slot; the same session is then admissible.
+	if err := o.Depart(0); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := o.Admit(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("freed slot not reused: got index %d, want 0", idx)
+	}
+}
+
+func TestOpenHeadroom(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RunFullHorizon = true
+	cfg.Capacity = 1000
+	ss := openSessions(2)
+	ss[0].BaseRate = 400
+	ss[1].BaseRate = 400
+	// Limit 0.5 × 1000 = 500 KB/s: the first session fits, the second
+	// would push demand to 800.
+	o, err := NewOpen(OpenConfig{Cell: cfg, HeadroomFrac: 0.5}, ss[:1], sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = o.Admit(ss[1])
+	var oc *OverCapacityError
+	if !errors.As(err, &oc) || oc.Reason != "headroom" {
+		t.Fatalf("got %v, want headroom OverCapacityError", err)
+	}
+	if oc.DemandKBps != 800 || oc.LimitKBps != 500 {
+		t.Fatalf("headroom error fields: %+v", oc)
+	}
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatal("headroom error must match ErrOverCapacity")
+	}
+}
+
+// Free-list discipline: freed table slots are reused lowest-first, and
+// the per-user state of a reused slot belongs entirely to the new
+// session.
+func TestOpenFreelistReuse(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RunFullHorizon = true
+	cfg.MaxSlots = 400
+	o, err := NewOpen(OpenConfig{Cell: cfg}, openSessions(3), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Depart(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Depart(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Depart(0); err == nil {
+		t.Fatal("double depart accepted")
+	}
+	ss := openSessions(5)
+	idx, err := o.Admit(ss[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("first admit after frees got slot %d, want 0", idx)
+	}
+	idx, err = o.Admit(ss[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("second admit after frees got slot %d, want 2", idx)
+	}
+	// Table did not grow: three slots serve five lifetime sessions.
+	st := o.Stats()
+	if st.TableLen != 3 || st.Admitted != 5 || st.Departed != 2 || st.InService != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if _, err := o.AdvanceTo(cfg.MaxSlots); err != nil {
+		t.Fatal(err)
+	}
+	if st := o.Stats(); st.Completed != 3 || st.InService != 0 {
+		t.Fatalf("end stats: %+v", st)
+	}
+}
+
+func TestOpenWindowSnapshots(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RunFullHorizon = true
+	cfg.MaxSlots = 80
+	o, err := NewOpen(OpenConfig{Cell: cfg, WindowSlots: 16, Windows: 2}, openSessions(4), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runOpen(t, o, cfg.MaxSlots)
+	snaps := o.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("retained %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0].FromSlot != 48 || snaps[0].ToSlot != 64 || snaps[1].FromSlot != 64 || snaps[1].ToSlot != 80 {
+		t.Fatalf("snapshot bounds: %+v", snaps)
+	}
+	// Bounded mode keeps the full per-slot series: each snapshot's deltas
+	// must equal the direct sums over its window.
+	for _, sn := range snaps {
+		var e units.MJ
+		var r units.Seconds
+		var u int
+		for n := sn.FromSlot; n < sn.ToSlot; n++ {
+			e += res.PerSlot[n].Energy
+			r += res.PerSlot[n].Rebuffer
+			u += res.PerSlot[n].UsedUnits
+		}
+		if e != sn.Energy || r != sn.Rebuffer || u != sn.UsedUnits {
+			t.Fatalf("window [%d,%d): snapshot (E=%v R=%v U=%d) != per-slot sums (E=%v R=%v U=%d)",
+				sn.FromSlot, sn.ToSlot, sn.Energy, sn.Rebuffer, sn.UsedUnits, e, r, u)
+		}
+	}
+}
+
+func TestOpenUnbounded(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RunFullHorizon = true
+	cfg.MaxSlots = 32 // initial horizon only; the clock extends on demand
+	o, err := NewOpen(OpenConfig{Cell: cfg, Unbounded: true, WindowSlots: 16, Windows: 2}, openSessions(2), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ss := openSessions(8)
+	for upto, k := 64, 2; upto <= 512; upto += 64 {
+		done, err := o.AdvanceTo(upto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Fatalf("unbounded run reported done at slot %d", upto)
+		}
+		if o.Clock() != upto {
+			t.Fatalf("clock %d, want %d", o.Clock(), upto)
+		}
+		// Keep churn flowing well past the initial horizon.
+		if k < len(ss) {
+			if _, err := o.Admit(ss[k]); err != nil {
+				t.Fatal(err)
+			}
+			k++
+		}
+		// The per-slot series must stay bounded by the retained windows.
+		if got := len(o.eng.curRes.PerSlot); got > 2*16 {
+			t.Fatalf("per-slot series grew to %d entries at slot %d (bound 32)", got, upto)
+		}
+	}
+	st := o.Stats()
+	if st.Admitted != 8 || st.Completed != 8 || st.InService != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if q := o.RebufferQuantile(0.5); q < 0 {
+		t.Fatalf("rebuffer p50 = %v", q)
+	}
+	if len(o.Snapshots()) != 2 {
+		t.Fatalf("retained %d snapshots, want 2", len(o.Snapshots()))
+	}
+}
+
+func TestOpenUnboundedRejectsUnboundedMemory(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RunFullHorizon = true
+
+	// Memoizing signal traces grow with the horizon.
+	sine, err := signal.NewSine(signal.SineConfig{Bounds: signal.DefaultBounds, PeriodSlots: 600}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := openSessions(1)
+	ss[0].Signal = sine
+	if _, err := NewOpen(OpenConfig{Cell: cfg, Unbounded: true}, ss, sched.NewDefault()); err == nil {
+		t.Fatal("memoizing trace accepted in unbounded mode")
+	}
+
+	// VBR rate memos grow with the horizon too.
+	ss = openSessions(1)
+	ss[0].RateJitter = 30
+	if _, err := NewOpen(OpenConfig{Cell: cfg, Unbounded: true}, ss, sched.NewDefault()); err == nil {
+		t.Fatal("VBR session accepted in unbounded mode")
+	}
+
+	// Unbounded requires the full-horizon engine.
+	cfg2 := tinyConfig()
+	if _, err := NewOpen(OpenConfig{Cell: cfg2, Unbounded: true}, openSessions(1), sched.NewDefault()); err == nil {
+		t.Fatal("unbounded mode accepted without RunFullHorizon")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	cfg := tinyConfig()
+	// Empty initial population needs the full-horizon engine.
+	if _, err := NewOpen(OpenConfig{Cell: cfg}, nil, sched.NewDefault()); err == nil {
+		t.Fatal("empty population accepted without RunFullHorizon")
+	}
+	cfgFH := tinyConfig()
+	cfgFH.RunFullHorizon = true
+	o, err := NewOpen(OpenConfig{Cell: cfgFH}, nil, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admit/Depart before Start are errors.
+	if _, err := o.Admit(openSessions(1)[0]); err == nil {
+		t.Fatal("Admit before Start accepted")
+	}
+	if err := o.Depart(0); err == nil {
+		t.Fatal("Depart before Start accepted")
+	}
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A run started empty serves arrivals.
+	if _, err := o.Admit(openSessions(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AdvanceTo(cfgFH.MaxSlots); err != nil {
+		t.Fatal(err)
+	}
+	if st := o.Stats(); st.Completed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// The open tile needs a session cap to size its rows.
+	if _, err := NewOpen(OpenConfig{Cell: cfgFH, TileSlots: 8}, openSessions(1), sched.NewDefault()); err == nil {
+		t.Fatal("tile without session cap accepted")
+	}
+	// Mid-run admission cannot honor per-user slot recording.
+	cfgRec := tinyConfig()
+	cfgRec.RunFullHorizon = true
+	cfgRec.RecordPerUserSlots = true
+	o2, err := NewOpen(OpenConfig{Cell: cfgRec}, openSessions(1), sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o2.Admit(openSessions(2)[1]); err == nil {
+		t.Fatal("mid-run admit accepted with RecordPerUserSlots")
+	}
+}
+
+// Departing a session that never started (still pending) must keep the
+// engine's unfinished bookkeeping right: the run still ends.
+func TestOpenDepartPending(t *testing.T) {
+	cfg := tinyConfig()
+	ss := openSessions(2)
+	ss[1].StartSlot = 300 // far in the future
+	o, err := NewOpen(OpenConfig{Cell: cfg}, ss, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Depart(1); err != nil {
+		t.Fatal(err)
+	}
+	done, err := o.AdvanceTo(cfg.MaxSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("run did not finish")
+	}
+	res := o.Finish()
+	// Without RunFullHorizon the engine early-exits once user 0 finishes —
+	// long before the departed user's phantom start slot.
+	if res.Slots >= 300 {
+		t.Fatalf("run served %d slots; departure did not release the pending user", res.Slots)
+	}
+	st := o.Stats()
+	if st.Completed != 1 || st.Departed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -19,10 +19,10 @@ func (s *Simulator) prepareShardBody(sh int) {
 	if s.curDense && s.link != nil && s.abrCtls == nil {
 		act = s.prepareDenseLink(s.curSlot, lo, hi, act)
 	} else {
-		link := s.link
+		tabled := s.colsTabled()
 		alloc := s.alloc
 		for _, i := range s.curLive[lo:hi] {
-			if s.prepareColsUser(link, s.curSlot, i) {
+			if s.prepareColsUser(tabled, s.curSlot, i) {
 				act = append(act, i)
 			}
 			alloc[i] = 0
@@ -66,7 +66,7 @@ func (s *Simulator) fusedShardBody(sh int) {
 		act = s.fusedDenseLink(s.curSlot, lo, hi, act, acc)
 	} else {
 		res := s.curRes
-		link := s.link
+		tabled := s.colsTabled()
 		alloc := s.alloc
 		next := s.curSlot + 1
 		for _, i := range s.curLive[lo:hi] {
@@ -79,7 +79,7 @@ func (s *Simulator) fusedShardBody(sh int) {
 				s.users[i].retired = true
 				acc.retires++
 			}
-			if s.prepareColsUser(link, next, i) {
+			if s.prepareColsUser(tabled, next, i) {
 				act = append(act, i)
 			}
 			alloc[i] = 0

@@ -16,6 +16,7 @@ package deploy
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"jointstream/internal/cell"
 	"jointstream/internal/metrics"
@@ -108,6 +109,13 @@ type Config struct {
 	// after every streaming epoch barrier — the hook the fleet benchmark
 	// uses to sample wall time and heap high-water per epoch.
 	OnEpoch func(EpochInfo)
+	// EpochTimeout arms the epoch watchdog: a streaming (or open-fleet)
+	// epoch that has not reached its barrier within this wall-clock bound
+	// aborts the run with a typed *EpochStalledError instead of hanging
+	// forever on a wedged scheduler. The run's context is cancelled so
+	// cooperative workers exit; a worker stuck inside a non-cooperative
+	// call is abandoned. Zero disables the watchdog.
+	EpochTimeout time.Duration
 }
 
 // DefaultEpochSlots is the streaming runner's batch size when
@@ -162,7 +170,45 @@ func (c Config) Validate() error {
 	if c.EpochSlots < 0 {
 		return fmt.Errorf("deploy: negative epoch size %d", c.EpochSlots)
 	}
+	if c.EpochTimeout < 0 {
+		return fmt.Errorf("deploy: negative epoch timeout %v", c.EpochTimeout)
+	}
 	return nil
+}
+
+// EpochStalledError reports an epoch that missed the watchdog deadline.
+type EpochStalledError struct {
+	// Epoch is the zero-based index of the stalled epoch; UptoSlot the
+	// barrier it failed to reach.
+	Epoch, UptoSlot int
+	// Timeout is the configured bound it exceeded.
+	Timeout time.Duration
+}
+
+func (e *EpochStalledError) Error() string {
+	return fmt.Sprintf("deploy: epoch %d stalled: barrier %d not reached within %v", e.Epoch, e.UptoSlot, e.Timeout)
+}
+
+// watchEpoch runs one epoch's advance under the watchdog. With no
+// timeout it degenerates to a plain call. On a stall it cancels the
+// run's context — releasing every worker that checks it — and returns
+// the typed error immediately, abandoning any wedged worker rather than
+// joining it.
+func watchEpoch(cancel context.CancelFunc, timeout time.Duration, epoch, upto int, run func() error) error {
+	if timeout <= 0 {
+		return run()
+	}
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		cancel()
+		return &EpochStalledError{Epoch: epoch, UptoSlot: upto, Timeout: timeout}
+	}
 }
 
 // Placement records where one session was attached.
@@ -459,6 +505,10 @@ func runStream(ctx context.Context, cfg Config, perSite [][]*workload.Session, n
 	if epoch == 0 {
 		epoch = DefaultEpochSlots
 	}
+	// The watchdog cancels this context on a stall, so every cooperative
+	// worker in the fleet unwinds together.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	fleet := &FleetMetrics{Sites: len(cfg.Sites)}
 	var err error
@@ -493,10 +543,12 @@ func runStream(ctx context.Context, cfg Config, perSite [][]*workload.Session, n
 	upto := 0
 	for len(active) > 0 {
 		upto += epoch
-		err := pool.ForEachN(ctx, cfg.Workers, len(active), func(ctx context.Context, k int) error {
-			d, err := sims[active[k]].Advance(upto)
-			done[active[k]] = d
-			return err
+		err := watchEpoch(cancel, cfg.EpochTimeout, fleet.Epochs, upto, func() error {
+			return pool.ForEachN(ctx, cfg.Workers, len(active), func(ctx context.Context, k int) error {
+				d, err := sims[active[k]].Advance(upto)
+				done[active[k]] = d
+				return err
+			})
 		})
 		if err != nil {
 			return nil, err

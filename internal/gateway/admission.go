@@ -1,0 +1,246 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"jointstream/internal/metrics"
+	"jointstream/internal/units"
+)
+
+// This file is the gateway's open-system serving layer: the admission
+// controller, the overload shedder and the graceful drain — the three
+// mechanisms that keep a long-running gateway inside its capacity
+// envelope instead of degrading every session a little when churn pushes
+// it past the paper's closed-world assumptions.
+//
+//   - Admission control (Attach): a cap on concurrent in-service
+//     sessions plus an Eq.-1-style headroom check — the summed required
+//     rates of everyone in service, plus the newcomer's, must fit inside
+//     AdmitHeadroomFrac × Capacity. Refusals are typed
+//     (*OverCapacityError, matching ErrOverCapacity) so callers can
+//     answer "come back later" instead of "broken".
+//
+//   - Load shedding (Step): when the tick-deadline miss rate over the
+//     recent Policy.ShedMissWindowSlots slots crosses
+//     Policy.ShedMissThreshold, up to Policy.ShedMaxPerSlot sessions are
+//     detached — lowest playback buffer first (they are rebuffering
+//     already; the grants they consume save the most viewers elsewhere),
+//     newest on ties. Shed sessions get DetachShed and are counted in
+//     Diag.Shed.
+//
+//   - Graceful drain (BeginDrain): the gateway stops admitting (Attach
+//     returns ErrDraining), keeps serving everything in flight, and
+//     Drained reports when the last session finished or detached —
+//     cmd/jstream-gateway wires SIGTERM to exactly this sequence.
+//
+// Step also feeds a sliding-window histogram of wall-clock tick
+// durations (TickQuantileMs), so deadline pressure is observable as a
+// p99 before the shedder has to act on it.
+
+// ErrOverCapacity is the sentinel every admission rejection matches via
+// errors.Is; the concrete error is a *OverCapacityError.
+var ErrOverCapacity = errors.New("gateway: over capacity")
+
+// ErrDraining rejects attachments while the gateway is draining.
+var ErrDraining = errors.New("gateway: draining, not admitting sessions")
+
+// OverCapacityError reports an admission rejection.
+type OverCapacityError struct {
+	// Reason is "session-cap" or "headroom".
+	Reason string
+	// InService and MaxSessions describe the session-cap rejection.
+	InService, MaxSessions int
+	// DemandKBps and LimitKBps describe the headroom rejection.
+	DemandKBps, LimitKBps units.KBps
+}
+
+func (e *OverCapacityError) Error() string {
+	if e.Reason == "session-cap" {
+		return fmt.Sprintf("gateway: admission rejected: %d sessions in service at cap %d", e.InService, e.MaxSessions)
+	}
+	return fmt.Sprintf("gateway: admission rejected: demand %v KB/s exceeds headroom %v KB/s", e.DemandKBps, e.LimitKBps)
+}
+
+// Is makes errors.Is(err, ErrOverCapacity) match.
+func (e *OverCapacityError) Is(target error) bool { return target == ErrOverCapacity }
+
+// tickHistWindowSlots is how many slots each tick-duration histogram
+// window spans before rotating.
+const tickHistWindowSlots = 256
+
+// inService reports whether a user still occupies serving capacity:
+// attached and not finished. Callers hold g.mu.
+func (g *Gateway) userInService(u *user) bool {
+	return !u.detached && !(u.srcDone && len(u.queue) == 0 && !u.inFlight)
+}
+
+// admissible applies the admission controller to a prospective session
+// with the given required rate. Callers hold g.mu.
+func (g *Gateway) admissible(rate units.KBps) error {
+	if g.draining {
+		return ErrDraining
+	}
+	cap, frac := g.cfg.MaxSessions, g.cfg.AdmitHeadroomFrac
+	if cap <= 0 && frac <= 0 {
+		return nil
+	}
+	inService := 0
+	var demand units.KBps
+	for _, u := range g.users {
+		if !g.userInService(u) {
+			continue
+		}
+		inService++
+		if u.haveReport {
+			demand += u.lastReport.Rate
+		}
+	}
+	if cap > 0 && inService >= cap {
+		return &OverCapacityError{Reason: "session-cap", InService: inService, MaxSessions: cap}
+	}
+	if frac > 0 {
+		limit := units.KBps(frac * float64(g.cfg.Capacity))
+		if demand+rate > limit {
+			return &OverCapacityError{Reason: "headroom", DemandKBps: demand + rate, LimitKBps: limit}
+		}
+	}
+	return nil
+}
+
+// BeginDrain switches the gateway into drain mode: Attach rejects with
+// ErrDraining, in-flight sessions keep being served, and Drained reports
+// when the last one is finished or detached. Idempotent.
+func (g *Gateway) BeginDrain() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.draining = true
+}
+
+// Draining reports whether BeginDrain was called.
+func (g *Gateway) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// Drained reports whether the gateway is draining and every session has
+// finished or detached. A never-draining or empty-but-serving gateway
+// returns false.
+func (g *Gateway) Drained() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.draining {
+		return false
+	}
+	for _, u := range g.users {
+		if g.userInService(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// noteTick records one completed Step: its wall duration into the
+// sliding tick histogram, and whether it missed the slot deadline into
+// the shedder's window. Callers hold g.mu.
+func (g *Gateway) noteTick(d time.Duration, missed bool) {
+	if g.tickHist != nil {
+		g.tickHist.Observe(float64(d) / float64(time.Millisecond))
+		g.tickHistSlots++
+		if g.tickHistSlots >= tickHistWindowSlots {
+			g.tickHist.Rotate()
+			g.tickHistSlots = 0
+		}
+	}
+	w := g.policy.ShedMissWindowSlots
+	if g.policy.ShedMaxPerSlot <= 0 || w <= 0 {
+		return
+	}
+	if len(g.missRing) != w {
+		g.missRing = make([]bool, w)
+		g.missHead, g.missCount = 0, 0
+	}
+	if g.missRing[g.missHead] {
+		g.missCount--
+	}
+	g.missRing[g.missHead] = missed
+	if missed {
+		g.missCount++
+	}
+	g.missHead = (g.missHead + 1) % w
+}
+
+// maybeShed detaches up to Policy.ShedMaxPerSlot sessions when the
+// recent deadline-miss count crosses the threshold: lowest playback
+// buffer first (already rebuffering; their grants buy the most relief),
+// newest on ties. The miss window resets after a shed so one overload
+// burst sheds once, not every following slot. Callers hold g.mu.
+func (g *Gateway) maybeShed() {
+	p := g.policy
+	if p.ShedMaxPerSlot <= 0 || g.missCount < p.ShedMissThreshold {
+		return
+	}
+	var cands []*user
+	for _, u := range g.users {
+		if g.userInService(u) {
+			cands = append(cands, u)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bufferSec != cands[j].bufferSec {
+			return cands[i].bufferSec < cands[j].bufferSec
+		}
+		return cands[i].id > cands[j].id
+	})
+	n := p.ShedMaxPerSlot
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for k := 0; k < n; k++ {
+		g.diag.Shed++
+		g.detach(cands[k], DetachShed)
+	}
+	for i := range g.missRing {
+		g.missRing[i] = false
+	}
+	g.missCount = 0
+}
+
+// countDrained credits sessions that reached their natural end while the
+// gateway drains. Callers hold g.mu.
+func (g *Gateway) countDrained() {
+	if !g.draining {
+		return
+	}
+	for _, u := range g.users {
+		if !u.detached && !u.drainCounted && u.srcDone && len(u.queue) == 0 && !u.inFlight {
+			u.drainCounted = true
+			g.diag.Drained++
+		}
+	}
+}
+
+// TickQuantileMs returns the q-th quantile of Step wall-clock duration
+// in milliseconds over the retained sliding windows (≈4×256 recent
+// slots), or 0 before the first Step.
+func (g *Gateway) TickQuantileMs(q float64) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.tickHist == nil || g.tickHist.Count() == 0 {
+		return 0
+	}
+	return g.tickHist.Quantile(q)
+}
+
+// newTickHist builds the sliding tick-duration histogram: 4 windows of
+// 64 bins, 0.25 ms base width (auto-widening).
+func newTickHist() *metrics.WindowedHist {
+	h, err := metrics.NewWindowedHist(4, 64, 0.25)
+	if err != nil {
+		panic(err) // constants; cannot fail
+	}
+	return h
+}

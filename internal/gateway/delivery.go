@@ -154,12 +154,14 @@ func (g *Gateway) completeDelivery(u *user, r deliveryResult) {
 	}
 }
 
-// closeWorkers shuts down every idle delivery worker. Workers blocked
-// inside a stalled Deliver exit when the endpoint releases them. Callers
-// hold g.mu.
+// closeWorkers shuts down every delivery worker. Closing the jobs
+// channel is safe even with a delivery outstanding: the worker finishes
+// it, publishes to its cap-1 done channel without blocking, and exits.
+// Workers blocked inside a stalled Deliver exit when the endpoint
+// releases them. Callers hold g.mu.
 func (g *Gateway) closeWorkers() {
 	for _, u := range g.users {
-		if u.worker != nil && !u.inFlight {
+		if u.worker != nil {
 			close(u.worker.jobs)
 			u.worker = nil
 		}

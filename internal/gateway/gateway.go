@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"jointstream/internal/metrics"
 	"jointstream/internal/radio"
 	"jointstream/internal/rrc"
 	"jointstream/internal/sched"
@@ -92,6 +94,15 @@ type Config struct {
 	// per-endpoint delivery. The zero value selects the defaults (see
 	// Policy).
 	Policy Policy
+	// MaxSessions caps concurrent in-service sessions: Attach rejects
+	// further users with a typed *OverCapacityError once the cap is
+	// reached. 0 means unlimited.
+	MaxSessions int
+	// AdmitHeadroomFrac, when positive, enables the Eq.-1-style admission
+	// check: a new session is rejected when the summed required rates of
+	// every in-service session plus its own would exceed
+	// AdmitHeadroomFrac × Capacity.
+	AdmitHeadroomFrac float64
 }
 
 // Validate checks the configuration.
@@ -110,6 +121,12 @@ func (c Config) Validate() error {
 	}
 	if c.QueueCap <= 0 {
 		return fmt.Errorf("gateway: non-positive queue cap %v", c.QueueCap)
+	}
+	if c.MaxSessions < 0 {
+		return fmt.Errorf("gateway: negative session cap %d", c.MaxSessions)
+	}
+	if c.AdmitHeadroomFrac < 0 {
+		return fmt.Errorf("gateway: negative admission headroom %v", c.AdmitHeadroomFrac)
 	}
 	if err := c.Policy.Validate(); err != nil {
 		return err
@@ -154,6 +171,8 @@ type user struct {
 	// Per-user diagnostics mirrored into Stats.
 	transientErrors int
 	missedSlots     int
+	// drainCounted marks a session already credited to Diag.Drained.
+	drainCounted bool
 }
 
 // Stats summarizes one user's progress.
@@ -201,6 +220,14 @@ type Gateway struct {
 	wake chan struct{}
 	// bypassKB counts non-video bytes forwarded without scheduling.
 	bypassKB units.KB
+
+	// Open-system serving state (see admission.go).
+	draining      bool
+	tickHist      *metrics.WindowedHist // sliding Step wall-duration (ms)
+	tickHistSlots int                   // slots since the last rotation
+	missRing      []bool                // last ShedMissWindowSlots deadline outcomes
+	missHead      int
+	missCount     int
 }
 
 // New builds a Gateway around the given scheduling algorithm.
@@ -212,21 +239,40 @@ func New(cfg Config, s sched.Scheduler) (*Gateway, error) {
 		return nil, errors.New("gateway: nil scheduler")
 	}
 	return &Gateway{
-		cfg:    cfg,
-		sched:  s,
-		policy: cfg.Policy.withDefaults(),
-		wake:   make(chan struct{}, 1),
+		cfg:      cfg,
+		sched:    s,
+		policy:   cfg.Policy.withDefaults(),
+		wake:     make(chan struct{}, 1),
+		tickHist: newTickHist(),
 	}, nil
 }
 
 // Attach registers a user with its content source and downlink endpoint,
-// returning the user id.
+// returning the user id. Admission control applies: a draining gateway
+// rejects with ErrDraining, and the session cap / capacity headroom
+// checks (Config.MaxSessions, Config.AdmitHeadroomFrac) reject with a
+// typed *OverCapacityError matching ErrOverCapacity.
 func (g *Gateway) Attach(ep Endpoint, src Source) (int, error) {
 	if ep == nil || src == nil {
 		return 0, errors.New("gateway: nil endpoint or source")
 	}
+	// The headroom check wants the newcomer's required rate; a missing
+	// report admits at rate 0 (the stale-report machinery takes over once
+	// attached). The endpoint is only probed when the check is configured,
+	// so endpoints with stateful Report implementations see no extra call
+	// on a gateway without admission control.
+	var rate units.KBps
+	if g.cfg.AdmitHeadroomFrac > 0 {
+		if rep, ok := ep.Report(); ok {
+			rate = rep.Rate
+		}
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if err := g.admissible(rate); err != nil {
+		g.diag.Rejected++
+		return 0, err
+	}
 	u := &user{id: len(g.users), ep: ep, src: src}
 	if g.cfg.trackEnergy() {
 		m, err := rrc.NewMachine(g.cfg.RRC)
@@ -236,6 +282,7 @@ func (g *Gateway) Attach(ep Endpoint, src Source) (int, error) {
 		u.machine = m
 	}
 	g.users = append(g.users, u)
+	g.diag.Admitted++
 	return u.id, nil
 }
 
@@ -280,6 +327,8 @@ func (g *Gateway) Slot() int {
 func (g *Gateway) Step() ([]int, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	tickStart := time.Now()
+	missedDeadline := false
 
 	// 0. Apply async delivery outcomes that landed since the last slot.
 	if g.policy.AsyncDelivery {
@@ -347,6 +396,12 @@ func (g *Gateway) Step() ([]int, error) {
 		link := g.cfg.Radio.Throughput.Throughput(rep.Sig)
 		maxUnits := int(float64(link) * float64(g.cfg.Tau) / float64(g.cfg.Unit))
 		queueUnits := int(float64(queuedKB) / float64(g.cfg.Unit))
+		if u.srcDone {
+			// The source is exhausted: round the tail up so a video that is
+			// not an exact multiple of the allocation unit can still finish.
+			// The transmitter clamps the grant to the actual queue bytes.
+			queueUnits = ceilDiv(float64(queuedKB), float64(g.cfg.Unit))
+		}
 		if maxUnits > queueUnits {
 			maxUnits = queueUnits
 		}
@@ -451,6 +506,7 @@ func (g *Gateway) Step() ([]int, error) {
 	if submitted > 0 {
 		if late := g.awaitSlotDeliveries(g.slot, submitted, g.policy.SlotDeadline); late > 0 {
 			degraded = true
+			missedDeadline = true
 		}
 	}
 
@@ -468,7 +524,10 @@ func (g *Gateway) Step() ([]int, error) {
 	if degraded {
 		g.diag.DegradedSlots++
 	}
+	g.maybeShed()
+	g.countDrained()
 	g.slot++
+	g.noteTick(time.Since(tickStart), missedDeadline)
 	return alloc, nil
 }
 

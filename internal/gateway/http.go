@@ -12,6 +12,8 @@ import (
 //	GET /stats          -> JSON array of per-user Stats
 //	GET /stats?user=3   -> JSON Stats of one user
 //	GET /summary        -> JSON gateway summary (slot count, totals)
+//	GET /diag           -> JSON degradation + open-system counters,
+//	                       tick-duration p50/p99 (ms), drain state
 //
 // All endpoints are read-only; the handler is safe to serve while Step is
 // being driven from another goroutine (the Gateway is internally locked).
@@ -59,6 +61,27 @@ func Handler(gw *Gateway) http.Handler {
 		}
 		writeJSON(w, sum)
 	})
+	mux.HandleFunc("GET /diag", func(w http.ResponseWriter, r *http.Request) {
+		d := gw.Diagnostics()
+		writeJSON(w, diagView{
+			Slot:            gw.Slot(),
+			Draining:        gw.Draining(),
+			TransientErrors: d.TransientErrors,
+			FatalErrors:     d.FatalErrors,
+			MissedDeadlines: d.MissedDeadlines,
+			StaleSlots:      d.StaleSlots,
+			Reattaches:      d.Reattaches,
+			BreakerOpens:    d.BreakerOpens,
+			StaleDetaches:   d.StaleDetaches,
+			DegradedSlots:   d.DegradedSlots,
+			Admitted:        d.Admitted,
+			Rejected:        d.Rejected,
+			Shed:            d.Shed,
+			Drained:         d.Drained,
+			TickP50Ms:       gw.TickQuantileMs(0.50),
+			TickP99Ms:       gw.TickQuantileMs(0.99),
+		})
+	})
 	return mux
 }
 
@@ -96,6 +119,26 @@ type summaryView struct {
 	EnergyMJ  float64 `json:"energy_mj"`
 	BypassKB  float64 `json:"bypass_kb"`
 	Scheduler string  `json:"scheduler"`
+}
+
+// diagView is the JSON shape of the /diag endpoint.
+type diagView struct {
+	Slot            int     `json:"slot"`
+	Draining        bool    `json:"draining"`
+	TransientErrors int     `json:"transient_errors"`
+	FatalErrors     int     `json:"fatal_errors"`
+	MissedDeadlines int     `json:"missed_deadlines"`
+	StaleSlots      int     `json:"stale_slots"`
+	Reattaches      int     `json:"reattaches"`
+	BreakerOpens    int     `json:"breaker_opens"`
+	StaleDetaches   int     `json:"stale_detaches"`
+	DegradedSlots   int     `json:"degraded_slots"`
+	Admitted        int     `json:"admitted"`
+	Rejected        int     `json:"rejected"`
+	Shed            int     `json:"shed"`
+	Drained         int     `json:"drained"`
+	TickP50Ms       float64 `json:"tick_p50_ms"`
+	TickP99Ms       float64 `json:"tick_p99_ms"`
 }
 
 func allStats(gw *Gateway) []statView {

@@ -60,15 +60,29 @@ type Policy struct {
 	// SlotDeadline is how long an async Step waits for the slot's
 	// deliveries before moving on.
 	SlotDeadline time.Duration
+	// ShedMaxPerSlot enables load shedding when positive: when the count
+	// of tick-deadline misses inside the recent ShedMissWindowSlots slots
+	// reaches ShedMissThreshold, up to this many in-service sessions are
+	// detached per slot (lowest playback buffer first, newest on ties).
+	// Zero (the default) disables shedding entirely.
+	ShedMaxPerSlot int
+	// ShedMissWindowSlots is the length of the sliding deadline-miss
+	// window the shedder watches. Only meaningful when ShedMaxPerSlot > 0.
+	ShedMissWindowSlots int
+	// ShedMissThreshold is how many misses inside the window trigger a
+	// shed. Only meaningful when ShedMaxPerSlot > 0.
+	ShedMissThreshold int
 }
 
 // Default policy values.
 const (
-	DefaultStaleGraceSlots  = 5
-	DefaultBackoffBaseSlots = 1
-	DefaultBackoffMaxSlots  = 8
-	DefaultBreakerTrips     = 5
-	DefaultSlotDeadline     = 50 * time.Millisecond
+	DefaultStaleGraceSlots     = 5
+	DefaultBackoffBaseSlots    = 1
+	DefaultBackoffMaxSlots     = 8
+	DefaultBreakerTrips        = 5
+	DefaultSlotDeadline        = 50 * time.Millisecond
+	DefaultShedMissWindowSlots = 16
+	DefaultShedMissThreshold   = 8
 )
 
 // withDefaults resolves the zero/negative conventions.
@@ -88,6 +102,15 @@ func (p Policy) withDefaults() Policy {
 		p.SlotDeadline = DefaultSlotDeadline
 	} else if p.SlotDeadline < 0 {
 		p.SlotDeadline = 0
+	}
+	// Shedding is opt-in: the window and threshold only resolve to their
+	// defaults when a shed budget was set.
+	if p.ShedMaxPerSlot < 0 {
+		p.ShedMaxPerSlot = 0
+	}
+	if p.ShedMaxPerSlot > 0 {
+		resolve(&p.ShedMissWindowSlots, DefaultShedMissWindowSlots)
+		resolve(&p.ShedMissThreshold, DefaultShedMissThreshold)
 	}
 	return p
 }
@@ -176,6 +199,7 @@ const (
 	DetachFatal   DetachReason = "fatal-error"
 	DetachBreaker DetachReason = "breaker-open"
 	DetachStale   DetachReason = "stale-report"
+	DetachShed    DetachReason = "shed"
 )
 
 // Diag aggregates the gateway's degradation counters across users. All
@@ -191,6 +215,13 @@ type Diag struct {
 	BreakerOpens    int
 	StaleDetaches   int
 	DegradedSlots   int
+	// Open-system serving counters: sessions admitted through the
+	// admission controller, rejected by it, detached by the load shedder,
+	// and completed while draining.
+	Admitted int
+	Rejected int
+	Shed     int
+	Drained  int
 }
 
 // Diagnostics returns a snapshot of the gateway's degradation counters.

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,7 @@ import (
 //	client -> gateway:  HELLO <videoKB> <rateKBps>
 //	client -> gateway:  SIG <dBm>            (any time; updates the report)
 //	gateway -> client:  DATA <n>\n<n raw bytes>
+//	gateway -> client:  BUSY <reason>        (admission refused; then close)
 //
 // The gateway side adapts one connection to the Endpoint interface; the
 // client side (Client) performs the handshake, streams RSSI updates and
@@ -179,6 +181,14 @@ func AttachConnWith(gw *Gateway, conn net.Conn, opts ConnOptions) (int, error) {
 	}
 	id, err := gw.Attach(ep, src)
 	if err != nil {
+		// Admission refusals get a protocol-level answer so load
+		// generators can tell "come back later" from a broken gateway.
+		switch {
+		case errors.Is(err, ErrDraining):
+			fmt.Fprintf(conn, "BUSY draining\n")
+		case errors.Is(err, ErrOverCapacity):
+			fmt.Fprintf(conn, "BUSY over-capacity\n")
+		}
 		return 0, err
 	}
 	go func() {
@@ -242,8 +252,14 @@ func (c *Client) ReportSignal(sig units.DBm) error {
 	return err
 }
 
+// ErrBusy is returned by ReadFrame when the gateway answered the
+// handshake with a BUSY line: the session was refused at admission
+// (over capacity or draining), not dropped by a fault.
+var ErrBusy = errors.New("gateway: busy, session refused at admission")
+
 // ReadFrame consumes the next DATA frame, returning its payload length.
-// io.EOF is returned once the full video has been received.
+// io.EOF is returned once the full video has been received; ErrBusy if
+// the gateway refused the session at admission.
 func (c *Client) ReadFrame() (int, error) {
 	if c.got >= c.want {
 		return 0, io.EOF
@@ -254,6 +270,9 @@ func (c *Client) ReadFrame() (int, error) {
 			return 0, err
 		}
 		f := strings.Fields(strings.TrimSpace(line))
+		if len(f) >= 1 && f[0] == "BUSY" {
+			return 0, ErrBusy
+		}
 		if len(f) != 2 || f[0] != "DATA" {
 			continue // tolerate unknown lines
 		}

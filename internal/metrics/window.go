@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowedHist is a sliding-window quantile sketch: a ring of
+// StreamingHists, one per window, of which the newest is live and the
+// rest are frozen snapshots. Observations land in the live window;
+// Rotate freezes it and recycles the oldest window's storage for the
+// next one. Merged/Quantile answer over every retained window, so an
+// open-system run can report "p99 rebuffering over the last K windows"
+// without ever finalizing the run — exactly the ROADMAP item-2 shape.
+//
+// All windows are created with the same (bins, width) parameters, so
+// their widths stay power-of-two multiples of each other and Merge can
+// never fail on alignment; WindowedHist exploits that to offer
+// error-free snapshot accessors.
+type WindowedHist struct {
+	windows []*StreamingHist
+	width   float64 // initial bin width each fresh window starts from
+	head    int     // ring index of the live window
+	filled  int     // retained windows, live included (≤ len(windows))
+	rotated uint64  // total Rotate calls — a window epoch counter
+}
+
+// NewWindowedHist returns a sliding sketch retaining the given number of
+// windows (≥ 1), each a StreamingHist with the given bins and width (the
+// same validity rules as NewStreamingHist apply).
+func NewWindowedHist(windows, bins int, width float64) (*WindowedHist, error) {
+	if windows < 1 {
+		return nil, fmt.Errorf("metrics: windowed hist needs >= 1 window, got %d", windows)
+	}
+	w := &WindowedHist{
+		windows: make([]*StreamingHist, windows),
+		width:   width,
+		filled:  1,
+	}
+	for i := range w.windows {
+		h, err := NewStreamingHist(bins, width)
+		if err != nil {
+			return nil, err
+		}
+		w.windows[i] = h
+	}
+	return w, nil
+}
+
+// Observe folds one sample into the live window.
+func (w *WindowedHist) Observe(x float64) { w.windows[w.head].Observe(x) }
+
+// Rotate freezes the live window and starts a fresh one, dropping the
+// oldest retained window once the ring is full. With a single-window
+// ring, Rotate simply resets the sketch.
+func (w *WindowedHist) Rotate() {
+	w.head = (w.head + 1) % len(w.windows)
+	w.windows[w.head].reset(w.width)
+	if w.filled < len(w.windows) {
+		w.filled++
+	}
+	w.rotated++
+}
+
+// Current returns the live window. The caller must not retain it across
+// a Rotate (its storage is recycled); use Merged for durable snapshots.
+func (w *WindowedHist) Current() *StreamingHist { return w.windows[w.head] }
+
+// Merged returns an independent StreamingHist holding every retained
+// window's samples — the sliding-window aggregate.
+func (w *WindowedHist) Merged() *StreamingHist {
+	out := w.windows[w.head].Clone()
+	for k := 1; k < w.filled; k++ {
+		idx := (w.head - k + len(w.windows)) % len(w.windows)
+		// Same (bins, initial width) by construction: Merge cannot fail.
+		if err := out.Merge(w.windows[idx]); err != nil {
+			panic("metrics: windowed hist merge: " + err.Error())
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile over every retained window, with
+// the same contract (and error bound) as StreamingHist.Quantile on the
+// merged sketch.
+func (w *WindowedHist) Quantile(q float64) float64 { return w.Merged().Quantile(q) }
+
+// Count returns the observed samples across every retained window.
+func (w *WindowedHist) Count() uint64 {
+	var n uint64
+	for k := 0; k < w.filled; k++ {
+		idx := (w.head - k + len(w.windows)) % len(w.windows)
+		n += w.windows[idx].Count()
+	}
+	return n
+}
+
+// Retained returns how many windows currently hold data (live included).
+func (w *WindowedHist) Retained() int { return w.filled }
+
+// Rotations returns the total number of Rotate calls — a monotone window
+// epoch counter for snapshot labeling.
+func (w *WindowedHist) Rotations() uint64 { return w.rotated }
+
+// Clone returns an independent copy of the histogram.
+func (h *StreamingHist) Clone() *StreamingHist {
+	c := *h
+	c.bins = append([]uint64(nil), h.bins...)
+	return &c
+}
+
+// reset returns the histogram to its freshly-constructed state with the
+// given initial width, reusing the bin storage.
+func (h *StreamingHist) reset(width float64) {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	h.width = width
+	h.count = 0
+	h.dropped = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// histsEqual reports whether two StreamingHists hold identical state.
+func histsEqual(a, b *StreamingHist) bool {
+	if a.width != b.width || a.count != b.count || a.dropped != b.dropped ||
+		a.sum != b.sum || a.min != b.min || a.max != b.max {
+		return false
+	}
+	for i := range a.bins {
+		if a.bins[i] != b.bins[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Window merge must equal a direct StreamingHist fed the same samples:
+// the windowed sketch adds rotation bookkeeping but no statistical
+// difference while every sample is still retained.
+func TestWindowedHistMergeMatchesDirect(t *testing.T) {
+	const windows, bins = 4, 64
+	w, err := NewWindowedHist(windows, bins, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewStreamingHist(bins, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var all []float64
+	// 3 rotations: all samples still retained in the 4-window ring.
+	for rot := 0; rot < windows-1; rot++ {
+		for i := 0; i < 500; i++ {
+			x := rng.ExpFloat64() * 12
+			w.Observe(x)
+			direct.Observe(x)
+			all = append(all, x)
+		}
+		if rot < windows-2 {
+			w.Rotate()
+		}
+	}
+	m := w.Merged()
+	if !histsEqual(m, direct) {
+		t.Fatalf("merged windowed hist != direct hist over same samples: merged{count=%d sum=%v width=%v} direct{count=%d sum=%v width=%v}",
+			m.Count(), m.Sum(), m.BinWidth(), direct.Count(), direct.Sum(), direct.BinWidth())
+	}
+	if got, want := w.Count(), uint64(len(all)); got != want {
+		t.Fatalf("windowed count = %d, want %d", got, want)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if got, want := w.Quantile(q), direct.Quantile(q); got != want {
+			t.Fatalf("q=%v: windowed %v != direct %v", q, got, want)
+		}
+	}
+}
+
+// Across rotations (including evictions of the oldest window) the merged
+// quantile must stay within BinWidth of the exact nearest-rank quantile
+// of the retained samples — the same bound StreamingHist guarantees,
+// surviving the per-window width divergence that rotation can introduce.
+func TestWindowedHistQuantileErrorAcrossRotation(t *testing.T) {
+	const windows, bins, perWindow = 3, 32, 400
+	w, err := NewWindowedHist(windows, bins, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var ring [][]float64
+	for rot := 0; rot < 10; rot++ {
+		if rot > 0 {
+			w.Rotate()
+		}
+		var cur []float64
+		for i := 0; i < perWindow; i++ {
+			// Scale drifts per rotation so late windows force widening
+			// while early retained windows keep the narrow width.
+			x := rng.Float64() * 8 * float64(1+rot%4)
+			w.Observe(x)
+			cur = append(cur, x)
+		}
+		ring = append(ring, cur)
+		if len(ring) > windows {
+			ring = ring[1:]
+		}
+		var retained []float64
+		for _, win := range ring {
+			retained = append(retained, win...)
+		}
+		cdf, err := NewCDF(retained)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := w.Merged()
+		bound := m.BinWidth()
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			got, want := m.Quantile(q), cdf.Quantile(q)
+			if math.Abs(got-want) > bound {
+				t.Fatalf("rotation %d q=%v: |%v - %v| > bin width %v", rot, q, got, want, bound)
+			}
+		}
+		if got, want := m.Quantile(0), cdf.Min(); got != want {
+			t.Fatalf("rotation %d: min %v != %v", rot, got, want)
+		}
+		if got, want := m.Quantile(1), cdf.Max(); got != want {
+			t.Fatalf("rotation %d: max %v != %v", rot, got, want)
+		}
+		if got, want := w.Count(), uint64(len(retained)); got != want {
+			t.Fatalf("rotation %d: count %d != %d", rot, got, want)
+		}
+	}
+	if w.Retained() != windows {
+		t.Fatalf("retained = %d, want %d", w.Retained(), windows)
+	}
+	if w.Rotations() != 9 {
+		t.Fatalf("rotations = %d, want 9", w.Rotations())
+	}
+}
+
+// Rotation must actually evict: once a window leaves the ring its
+// samples disappear from the merged view, and the recycled storage
+// starts from the initial width again.
+func TestWindowedHistEviction(t *testing.T) {
+	w, err := NewWindowedHist(2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Observe(1000) // forces widening in window 0
+	w.Rotate()
+	w.Observe(1)
+	w.Rotate() // evicts the widened window
+	w.Observe(2)
+	if got := w.Count(); got != 2 {
+		t.Fatalf("count after eviction = %d, want 2", got)
+	}
+	m := w.Merged()
+	if m.Max() != 2 || m.Min() != 1 {
+		t.Fatalf("merged extremes = [%v, %v], want [1, 2]", m.Min(), m.Max())
+	}
+	if w.Current().BinWidth() != 1 {
+		t.Fatalf("recycled window width = %v, want initial width 1", w.Current().BinWidth())
+	}
+}
+
+func TestWindowedHistValidation(t *testing.T) {
+	if _, err := NewWindowedHist(0, 8, 1); err == nil {
+		t.Fatal("want error for 0 windows")
+	}
+	if _, err := NewWindowedHist(2, 3, 1); err == nil {
+		t.Fatal("want error for odd bins")
+	}
+	if _, err := NewWindowedHist(2, 8, 0); err == nil {
+		t.Fatal("want error for zero width")
+	}
+}
+
+func TestStreamingHistClone(t *testing.T) {
+	h, err := NewStreamingHist(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(3)
+	c := h.Clone()
+	c.Observe(5)
+	if h.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("clone aliases parent: parent count %d, clone count %d", h.Count(), c.Count())
+	}
+	if !histsEqual(h.Clone(), h) {
+		t.Fatal("clone not equal to source")
+	}
+}

@@ -130,8 +130,14 @@ type Config struct {
 	Signal signal.SineConfig
 	// MeanInterarrival, if positive, staggers user start slots with
 	// exponential interarrival times (extension; the paper starts all
-	// users at slot 0).
+	// users at slot 0). It is shorthand for Arrivals =
+	// PoissonArrivals{MeanInterarrival} and produces bit-identical start
+	// slots to what it always did.
 	MeanInterarrival units.Seconds
+	// Arrivals, if non-nil, staggers user start slots with an explicit
+	// arrival process (Poisson/trace/burst — see ArrivalProcess). It is
+	// mutually exclusive with MeanInterarrival.
+	Arrivals ArrivalProcess
 	// StatelessSignal builds the per-user traces with
 	// signal.NewStatelessSine instead of the memoizing NewSine: each
 	// trace is a pure function of (seed, slot) holding no per-slot memo,
@@ -187,6 +193,9 @@ func (c Config) Validate() error {
 	if c.MeanInterarrival < 0 {
 		return fmt.Errorf("workload: negative interarrival %v", c.MeanInterarrival)
 	}
+	if c.Arrivals != nil && c.MeanInterarrival > 0 {
+		return fmt.Errorf("workload: Arrivals and MeanInterarrival are mutually exclusive")
+	}
 	return nil
 }
 
@@ -194,6 +203,10 @@ func (c Config) Validate() error {
 func Generate(c Config, src *rng.Source) ([]*Session, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	arrivals := c.Arrivals
+	if arrivals == nil && c.MeanInterarrival > 0 {
+		arrivals = PoissonArrivals{MeanInterarrival: c.MeanInterarrival}
 	}
 	sessions := make([]*Session, c.Users)
 	phaseOffset := src.Uniform(0, 2*math.Pi)
@@ -203,18 +216,17 @@ func Generate(c Config, src *rng.Source) ([]*Session, error) {
 		rate := units.KBps(src.Uniform(float64(c.RateMin), float64(c.RateMax)))
 		sigCfg := c.Signal
 		sigCfg.Phase = phaseOffset + 2*math.Pi*float64(i)/float64(c.Users)
-		var tr signal.Trace
-		var err error
-		if c.StatelessSignal {
-			tr, err = signal.NewStatelessSine(sigCfg, src.Uint64())
-		} else {
-			tr, err = signal.NewSine(sigCfg, src)
-		}
+		tr, err := signalTrace(&c, sigCfg, src)
 		if err != nil {
 			return nil, fmt.Errorf("workload: user %d signal: %w", i, err)
 		}
-		if c.MeanInterarrival > 0 && i > 0 {
-			start += int(math.Ceil(src.Exp(1 / float64(c.MeanInterarrival))))
+		// The arrival draw sits at the exact sequence point the historical
+		// MeanInterarrival staggering used, so the Poisson default consumes
+		// the same src draws in the same order — byte-identical workloads.
+		if arrivals != nil && i > 0 {
+			if g := arrivals.NextGap(i, src); g > 0 {
+				start += g
+			}
 		}
 		s := &Session{
 			ID:         i,
@@ -230,6 +242,17 @@ func Generate(c Config, src *rng.Source) ([]*Session, error) {
 		sessions[i] = s
 	}
 	return sessions, nil
+}
+
+// signalTrace builds one user's channel trace per the config's
+// StatelessSignal switch, consuming exactly one src draw stream either
+// way (a Uint64 seed for stateless traces, the shared source for
+// memoized ones).
+func signalTrace(c *Config, sigCfg signal.SineConfig, src *rng.Source) (signal.Trace, error) {
+	if c.StatelessSignal {
+		return signal.NewStatelessSine(sigCfg, src.Uint64())
+	}
+	return signal.NewSine(sigCfg, src)
 }
 
 // TotalDemand returns the sum of nominal rates across sessions, useful for
