@@ -12,7 +12,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
+	"time"
 
 	"jointstream/internal/cell"
 	"jointstream/internal/deploy"
@@ -20,6 +22,7 @@ import (
 	"jointstream/internal/rng"
 	"jointstream/internal/rrc"
 	"jointstream/internal/sched"
+	"jointstream/internal/signal"
 	"jointstream/internal/units"
 	"jointstream/internal/workload"
 )
@@ -410,6 +413,117 @@ func BenchmarkFleet(b *testing.B) {
 	}
 	b.Run("u200000_c64", func(b *testing.B) { benchFleet(b, 200_000, 64, 256, 64) })
 	b.Run("u1000000_c256", func(b *testing.B) { benchFleet(b, 1_000_000, 256, 512, 64) })
+}
+
+// --- churn benchmarks (open-system serving path) ---------------------
+
+// benchChurn drives an unbounded open-system engine at steady per-slot
+// churn — every slot departs the oldest session and admits a fresh one —
+// across many tile-window rollovers. Per-slot timings are split into
+// rollover slots (the first slot of each tile window, which used to pay
+// a synchronous full users×window recompile inside the tick) and steady
+// slots; with pipelined window compilation the rollover-x ratio of the
+// two medians stays near 1 (the gate's acceptance bound is 2×). The
+// ns/slot metric is what the benchstat perf gate tracks.
+func benchChurn(b *testing.B, n, tile, workers int) {
+	const tilesPerIter = 4
+	slotsPerIter := tilesPerIter * tile
+	cfg := cell.PaperConfig()
+	cfg.RunFullHorizon = true
+	cfg.Workers = workers
+	src := rng.New(7)
+	mk := func(id int) *workload.Session {
+		return &workload.Session{
+			ID:       id,
+			Size:     1 << 30, // never completes; churn is depart-driven
+			BaseRate: units.KBps(src.Uniform(300, 600)),
+			Signal:   signal.Constant(units.DBm(src.Uniform(-95, -55)), signal.DefaultBounds),
+		}
+	}
+	initial := make([]*workload.Session, n)
+	for i := range initial {
+		initial[i] = mk(i)
+	}
+	o, err := cell.NewOpen(cell.OpenConfig{
+		Cell: cfg, Unbounded: true, MaxSessions: n,
+		TileSlots: tile, WindowSlots: 2 * tile, Windows: 2,
+	}, initial, sched.NewDefault())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Stop()
+	if err := o.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	type live struct {
+		idx int
+		ser uint64
+	}
+	fifo := make([]live, 0, n+1)
+	for i := 0; i < n; i++ {
+		ser, ok := o.Serial(i)
+		if !ok {
+			b.Fatalf("no serial for initial session %d", i)
+		}
+		fifo = append(fifo, live{i, ser})
+	}
+	tmpl := mk(0)
+	slot := 0
+	var roll, steady []float64
+	advance := func(record bool) {
+		for k := 0; k < slotsPerIter; k++ {
+			old := fifo[0]
+			fifo = fifo[:copy(fifo, fifo[1:])]
+			if ok, err := o.DepartSerial(old.idx, old.ser); err != nil || !ok {
+				b.Fatalf("depart idx=%d ser=%d: ok=%v err=%v", old.idx, old.ser, ok, err)
+			}
+			idx, err := o.Admit(tmpl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ser, _ := o.Serial(idx)
+			fifo = append(fifo, live{idx, ser})
+			start := time.Now()
+			if _, err := o.AdvanceTo(slot + 1); err != nil {
+				b.Fatal(err)
+			}
+			d := float64(time.Since(start).Nanoseconds())
+			if record {
+				if slot%tile == 0 {
+					roll = append(roll, d)
+				} else {
+					steady = append(steady, d)
+				}
+			}
+			slot++
+		}
+	}
+	advance(false) // warm the tile pipeline and the session pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advance(true)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*slotsPerIter), "ns/slot")
+	b.ReportMetric(medianOf(roll)/medianOf(steady), "rollover-x")
+}
+
+// medianOf returns the median of xs without mutating it.
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// BenchmarkChurn is the open-system counterpart of BenchmarkTickN: the
+// serial tier sits under the engine's small-N serial cutoff, the sharded
+// tier exercises the parallel tile fill and shard barriers under churn.
+func BenchmarkChurn(b *testing.B) {
+	b.Run("n2000_t32_serial", func(b *testing.B) { benchChurn(b, 2_000, 32, 1) })
+	b.Run("n10000_t32_sharded", func(b *testing.B) { benchChurn(b, 10_000, 32, 0) })
 }
 
 // --- ablation benches (DESIGN.md, Design choices) --------------------

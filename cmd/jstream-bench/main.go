@@ -60,6 +60,11 @@ func realMain() int {
 		tickSlots  = flag.Int("tickslots", 0, "override the per-tier slot horizon for -tick/-tickdiff (0 scales with N)")
 		tickReps   = flag.Int("tickreps", 3, "repetitions per tick configuration (best is kept)")
 		sweepOut   = flag.String("sweep", "", "time the full parallel figure sweep and write a JSON report to this file")
+		churnOut   = flag.String("churn", "", "benchmark the open-system churn path and write a JSON report to this file")
+		churnTiers = flag.String("churnsessions", "2000,10000", "comma-separated in-service session tiers for -churn")
+		churnTile  = flag.Int("churntile", 32, "open tile window in slots for -churn")
+		churnSlots = flag.Int("churnslots", 0, "measured slots per rep for -churn (0 = 8 tile windows)")
+		churnReps  = flag.Int("churnreps", 3, "repetitions per churn configuration (best is kept)")
 		fleetOut   = flag.String("fleet", "", "run the epoch-clocked streaming fleet benchmark and write a JSON report to this file")
 		fleetUsers = flag.Int("fleetusers", 1_000_000, "total fleet session count for -fleet")
 		fleetCells = flag.Int("fleetcells", 256, "cell count for -fleet")
@@ -93,6 +98,8 @@ func realMain() int {
 		tickOut: *tickOut, tickDiff: *tickDiff, tickTol: *tickTol,
 		tickUsers: *tickUsers, tickSlots: *tickSlots, tickReps: *tickReps,
 		sweepOut: *sweepOut,
+		churnOut: *churnOut, churnTiers: *churnTiers, churnTile: *churnTile,
+		churnSlots: *churnSlots, churnReps: *churnReps,
 		fleetOut: *fleetOut, fleetUsers: *fleetUsers, fleetCells: *fleetCells,
 		fleetSlots: *fleetSlots, fleetEpoch: *fleetEpoch, fleetTile: *fleetTile,
 		fleetCheck: *fleetCheck,
@@ -139,6 +146,11 @@ type dispatchArgs struct {
 	tickSlots  int
 	tickReps   int
 	sweepOut   string
+	churnOut   string
+	churnTiers string
+	churnTile  int
+	churnSlots int
+	churnReps  int
 	fleetOut   string
 	fleetUsers int
 	fleetCells int
@@ -158,6 +170,8 @@ func dispatch(a dispatchArgs) error {
 		return runTickDiff(a.tickDiff, a.tickUsers, a.tickSlots, a.tickReps, a.tickTol)
 	case a.fleetOut != "":
 		return runFleet(a.fleetOut, a.fleetUsers, a.fleetCells, a.fleetSlots, a.fleetEpoch, a.fleetTile, a.fleetCheck)
+	case a.churnOut != "":
+		return runChurn(a.churnOut, a.churnTiers, a.churnTile, a.churnSlots, a.churnReps)
 	case a.sweepOut != "":
 		return runSweep(a.sweepOut, a.quick, a.seed)
 	case a.ext != "":

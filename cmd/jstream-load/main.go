@@ -34,6 +34,7 @@ import (
 	"jointstream/internal/rrc"
 	"jointstream/internal/sched"
 	"jointstream/internal/units"
+	"jointstream/internal/workload"
 )
 
 type options struct {
@@ -48,6 +49,7 @@ type options struct {
 	faultStall  float64
 	faultFlap   float64
 	stallDur    time.Duration
+	trace       string
 	seed        uint64
 	timeout     time.Duration
 	jsonOut     bool
@@ -75,6 +77,7 @@ func main() {
 	flag.Float64Var(&o.faultStall, "fault-stall", 0.05, "fraction of sessions that stop reading for -stall")
 	flag.Float64Var(&o.faultFlap, "fault-flap", 0.05, "fraction of sessions that flap their reported signal")
 	flag.DurationVar(&o.stallDur, "stall", 200*time.Millisecond, "stall length for fault-stall sessions")
+	flag.StringVar(&o.trace, "trace", "", "CSV arrival trace (timestamp,rate,duration rows, seconds); replaces Poisson pacing, -clients caps the session count")
 	flag.Uint64Var(&o.seed, "seed", 1, "load plan seed")
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "overall run deadline")
 	flag.BoolVar(&o.jsonOut, "json", false, "print the report as JSON")
@@ -123,6 +126,11 @@ func run(o options) error {
 		return fmt.Errorf("need -addr (or -spawn)")
 	}
 
+	schedule, err := loadTrace(o)
+	if err != nil {
+		return err
+	}
+
 	baseGoroutines := runtime.NumGoroutine()
 	var gw *gateway.Gateway
 	var ln net.Listener
@@ -138,7 +146,7 @@ func run(o options) error {
 		addr = ln.Addr().String()
 	}
 
-	rep := driveClients(o, addr)
+	rep := driveClients(o, addr, schedule)
 
 	if o.spawn {
 		// Graceful drain: accepting stops, admission closes, in-service
@@ -272,20 +280,55 @@ const (
 	faultFlap
 )
 
-// driveClients paces the arrival process and fans sessions out under
+// loadTrace expands -trace into absolute wall-clock arrival offsets
+// (millisecond resolution), or returns nil when Poisson pacing applies.
+func loadTrace(o options) ([]time.Duration, error) {
+	if o.trace == "" {
+		return nil, nil
+	}
+	f, err := os.Open(o.trace)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := workload.ParseArrivalTrace(f, units.Seconds(0.001))
+	if err != nil {
+		return nil, err
+	}
+	schedule := make([]time.Duration, len(tr.StartSlots))
+	for i, s := range tr.StartSlots {
+		schedule[i] = time.Duration(s) * time.Millisecond
+	}
+	return schedule, nil
+}
+
+// driveClients paces the arrival process — the recorded trace schedule
+// when one was given, Poisson otherwise — and fans sessions out under
 // the concurrency ceiling.
-func driveClients(o options, addr string) *report {
-	rep := &report{Sessions: o.clients}
+func driveClients(o options, addr string, schedule []time.Duration) *report {
+	n := o.clients
+	if schedule != nil && len(schedule) < n {
+		n = len(schedule)
+	}
+	rep := &report{Sessions: n}
 	start := time.Now()
 	deadline := start.Add(o.timeout)
 	sem := make(chan struct{}, o.concurrency)
 	var wg sync.WaitGroup
 	arrSrc := rng.New(o.seed)
-	for i := 0; i < o.clients; i++ {
-		// Poisson pacing; a full semaphore converts arrival pressure
-		// into instantaneous concurrency, which is the point.
-		gap := time.Duration(arrSrc.Exp(1.0 / max(float64(o.arrival), 1)))
-		time.Sleep(gap)
+	for i := 0; i < n; i++ {
+		if schedule != nil {
+			// Replay the recorded arrival time; a full semaphore still
+			// converts trace bursts into instantaneous concurrency.
+			if wait := schedule[i] - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		} else {
+			// Poisson pacing; a full semaphore converts arrival pressure
+			// into instantaneous concurrency, which is the point.
+			gap := time.Duration(arrSrc.Exp(1.0 / max(float64(o.arrival), 1)))
+			time.Sleep(gap)
+		}
 		if time.Now().After(deadline) {
 			rep.Sessions = i
 			break

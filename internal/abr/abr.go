@@ -161,3 +161,10 @@ func (c *Controller) Pick(buffer units.Seconds) units.KBps {
 
 // Current returns the last selected rate without advancing.
 func (c *Controller) Current() units.KBps { return c.cfg.Ladder[c.current] }
+
+// Reset returns the controller to its freshly-constructed state (the
+// lowest rung). The open-system engine recycles one controller per table
+// slot across admissions instead of allocating a new one per session;
+// the only mutable state is the rung index, so a reset controller is
+// indistinguishable from NewController's.
+func (c *Controller) Reset() { c.current = 0 }

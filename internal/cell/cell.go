@@ -415,8 +415,12 @@ type Simulator struct {
 	// physics rows the static columns alias exactly like a link table's
 	// windows. Mutually exclusive with link; NewOpen installs it.
 	openTile *openTile
-	live      []int      // started, unretired users, ascending index
-	pending   []int      // not-yet-started users, ordered by (StartSlot, index)
+	live     []int // started, unretired users, ascending index
+	pending  []int // not-yet-started users, ordered by (StartSlot, index)
+	// pendHead is the first undrained pending entry: admit advances it
+	// instead of re-slicing pending's head, so the backing array never
+	// creeps under churn (the open engine re-compacts before inserting).
+	pendHead int
 	// unfinished counts users that keep the run going: not started yet,
 	// or started with playback incomplete. Zero means the old full-scan
 	// loop's allDone condition holds.
@@ -461,11 +465,11 @@ type Simulator struct {
 	// windows would hand the fused pass freshly overwritten memory, so
 	// pinPrevColumns copies the columns here first — an O(users) copy
 	// once per tile, not per slot. Allocated on first use, reused after.
-	prevEpkbBuf []units.MJ
-	prevRateBuf []units.KBps
-	prepFn      func(int)
-	commFn      func(int)
-	fusedFn     func(int)
+	prevEpkbBuf                            []units.MJ
+	prevRateBuf                            []units.KBps
+	prepFn                                 func(int)
+	commFn                                 func(int)
+	fusedFn                                func(int)
 	lblPrep, lblSched, lblCommit, lblFused context.Context
 
 	// Stepped-run state (Start/Advance/Finish): the context bound at
@@ -751,6 +755,16 @@ func (s *Simulator) attachSlotColumns(n int) {
 	var epkb []units.MJ
 	var lu []int32
 	if s.link != nil {
+		// Restrict a tiled table's window recompiles to the rows the run
+		// can still read: once every admission has happened, those are
+		// exactly the live users (retired rows are never read again). With
+		// admissions still pending the full block is compiled — a user
+		// admitted later in the window must find its rows ready.
+		if s.pendingCount() == 0 {
+			s.link.setRows(s.live)
+		} else {
+			s.link.setRows(nil)
+		}
 		sig, link, epkb, rate, lu = s.link.slotColumns(n)
 	} else {
 		s.openTile.ensure(n)

@@ -400,12 +400,12 @@ func (s *Simulator) collectActive(shards int) {
 // pass (which ran before these users were live), their column entries
 // are patched in and the active list is spliced to stay sorted.
 func (s *Simulator) admit(slotIdx int, res *Result) {
-	for len(s.pending) > 0 {
-		i := s.pending[0]
+	for s.pendHead < len(s.pending) {
+		i := s.pending[s.pendHead]
 		if int(s.users[i].startSlot) > slotIdx {
 			break
 		}
-		s.pending = s.pending[1:]
+		s.pendHead++
 		s.live = insertSorted(s.live, i)
 		if s.colsSlot == slotIdx {
 			if s.prepareColsUser(s.colsTabled(), slotIdx, i) {
@@ -420,7 +420,15 @@ func (s *Simulator) admit(slotIdx int, res *Result) {
 			}
 		}
 	}
+	if s.pendHead == len(s.pending) && s.pendHead > 0 {
+		// Drained: rewind to the array's head so the storage is reused.
+		s.pending = s.pending[:0]
+		s.pendHead = 0
+	}
 }
+
+// pendingCount returns how many admitted-but-not-started users remain.
+func (s *Simulator) pendingCount() int { return len(s.pending) - s.pendHead }
 
 // insertSorted inserts v into ascending-sorted xs, keeping order.
 func insertSorted(xs []int, v int) []int {

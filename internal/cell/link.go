@@ -74,6 +74,15 @@ type LinkTable struct {
 	base     int         // first resident slot
 	resident int         // resident slot count: min(window, slots-base)
 	src      *linkSource // retained compile inputs for window advances
+
+	// rows, when non-nil, restricts recompile to those user rows (the
+	// engine's live set): rows the engine will never read again — retired
+	// users — keep stale values instead of being recomputed every window
+	// crossing. nil means every row. The engine refreshes it per attach
+	// (setRows) and only once no future admissions remain, so every row a
+	// prepare or commit can read is always freshly compiled; direct
+	// slotColumns users (tests, tools) leave it nil and get full blocks.
+	rows []int
 }
 
 // linkSource retains what a tiled table needs to recompile a block: the
@@ -291,7 +300,7 @@ func (t *LinkTable) recompile(base int) {
 	}
 	src := t.src
 	tau, unit := float64(t.tau), float64(t.unit)
-	pool.Shard(src.workers, t.users, func(i int) {
+	fill := func(i int) {
 		sess := src.sessions[i]
 		for n := base; n < hi; n++ {
 			idx := (n-base)*t.users + i
@@ -310,9 +319,30 @@ func (t *LinkTable) recompile(base int) {
 			t.epkb[idx] = p
 			t.linkUnits[idx] = int32(floorUnits(float64(v)*tau, unit))
 		}
-	})
+	}
+	if rows := t.rows; rows != nil && len(rows) < t.users {
+		// Live-row recompile: only the rows the engine can still read are
+		// recomputed. The values written are identical to the full pass —
+		// stale rows are exactly the ones no reader reaches — so a run's
+		// Result is unchanged for any worker count.
+		pool.Shard(src.workers, len(rows), func(j int) { fill(rows[j]) })
+	} else {
+		pool.Shard(src.workers, t.users, fill)
+	}
 	t.base = base
 	t.resident = hi - base
+}
+
+// setRows installs the live-row set the next recompile is restricted to
+// (nil = every row). The engine passes its live list only when no
+// pending admissions remain, so no future reader can touch a skipped
+// row; the slice is read synchronously inside the next slotColumns call
+// and not retained beyond it in any way that outlives the caller's
+// ownership.
+func (t *LinkTable) setRows(rows []int) {
+	if t.window > 0 {
+		t.rows = rows
+	}
 }
 
 // Users returns the user count the table was compiled for.

@@ -39,6 +39,8 @@ import (
 
 	"jointstream/internal/abr"
 	"jointstream/internal/metrics"
+	"jointstream/internal/pool"
+	"jointstream/internal/radio"
 	"jointstream/internal/sched"
 	"jointstream/internal/signal"
 	"jointstream/internal/units"
@@ -170,10 +172,23 @@ type OpenSim struct {
 	headroomKB  units.KBps // 0 = disabled
 	unbounded   bool
 
-	freelist []int    // freed table slots, ascending
+	// freelist holds freed table slots sorted descending, so popping the
+	// tail both reuses the lowest index first (stable, test-pinned
+	// behaviour) and keeps the backing array anchored — the old
+	// head-slicing pop made the array creep one slot per reuse and forced
+	// a reallocation every O(cap) churn cycles.
+	freelist []int
 	ended    []bool   // per table slot: session folded (completed/departed)
 	serials  []uint64 // per table slot: admission serial of the resident session
 	lastSer  uint64
+	bySerial map[uint64]int // admission serial → current table slot (live sessions)
+	// owned marks table slots whose *workload.Session is an engine-owned
+	// clone (mid-run admissions): those are recycled through sessPool at
+	// fold time instead of garbage-collected, so the churn steady state
+	// allocates no session per admit. Initial sessions are caller-owned.
+	owned    []bool
+	sessPool []*workload.Session
+	remap    []int // compaction scratch: old table slot → new (-1 = freed)
 
 	windowSlots int
 	windows     int // retained metric windows (snapshots + hist span)
@@ -290,13 +305,16 @@ func NewOpen(cfg OpenConfig, initial []*workload.Session, s sched.Scheduler) (*O
 	}
 	o.eng = eng
 	if cfg.TileSlots > 0 {
-		eng.openTile = newOpenTile(eng, cfg.TileSlots, cfg.MaxSessions)
+		eng.openTile = newOpenTile(eng, cfg.TileSlots, cfg.MaxSessions, cfg.Unbounded)
 	}
 	o.ended = make([]bool, len(initial))
+	o.owned = make([]bool, len(initial))
 	o.serials = make([]uint64, len(initial))
+	o.bySerial = make(map[uint64]int, cfg.MaxSessions+len(initial))
 	for i := range o.serials {
 		o.lastSer++
 		o.serials[i] = o.lastSer
+		o.bySerial[o.lastSer] = i
 	}
 	o.stats.Admitted = len(initial)
 	o.stats.InService = len(initial)
@@ -376,30 +394,51 @@ func (o *OpenSim) Admit(sess *workload.Session) (int, error) {
 	if start < s.nextSlot {
 		start = s.nextSlot
 	}
-	clone := *sess
+	// Clone into a pooled session (recycled at fold) so sustained churn
+	// admits without allocating; the caller keeps ownership of sess.
+	var clone *workload.Session
+	if n := len(o.sessPool); n > 0 {
+		clone = o.sessPool[n-1]
+		o.sessPool = o.sessPool[:n-1]
+	} else {
+		clone = new(workload.Session)
+	}
+	*clone = *sess
 	clone.StartSlot = start
 
+	if s.openTile != nil {
+		// Quiesce the background window compile before the session table
+		// mutates under it (appendSlot re-slices arrays the fill reads).
+		s.openTile.syncFill()
+	}
 	o.lastSer++
 	var idx int
-	if len(o.freelist) > 0 {
-		idx = o.freelist[0]
-		o.freelist = o.freelist[1:]
-		o.reuseSlot(idx, &clone)
+	if n := len(o.freelist); n > 0 {
+		// The tail of the descending-sorted freelist is the lowest free
+		// slot: lowest-first reuse without moving the array's head.
+		idx = o.freelist[n-1]
+		o.freelist = o.freelist[:n-1]
+		o.reuseSlot(idx, clone)
 		o.serials[idx] = o.lastSer
+		o.owned[idx] = true
 	} else {
 		if s.openTile != nil && len(s.users) >= o.maxSessions {
 			// The tile's slot-major layout is sized for MaxSessions rows;
 			// it cannot grow past the cap even transiently.
+			o.sessPool = append(o.sessPool, clone)
 			o.stats.Rejected++
 			return 0, &OverCapacityError{Reason: "session-cap", InService: o.stats.InService, MaxSessions: o.maxSessions}
 		}
 		idx = len(s.users)
-		if err := o.appendSlot(&clone); err != nil {
+		if err := o.appendSlot(clone); err != nil {
+			o.sessPool = append(o.sessPool, clone)
 			return 0, err
 		}
 		o.serials = append(o.serials, o.lastSer)
+		o.owned = append(o.owned, true)
 	}
 	clone.ID = idx
+	o.bySerial[o.lastSer] = idx
 
 	if !o.unbounded {
 		// Bounded mode may carry memoized traces and VBR sessions: extend
@@ -407,7 +446,7 @@ func (o *OpenSim) Admit(sess *workload.Session) (int, error) {
 		clone.Prewarm(s.cfg.MaxSlots)
 	}
 	if s.openTile != nil {
-		s.openTile.fillUser(idx, &clone)
+		s.openTile.admitRow(idx, clone)
 		if s.colsSlot == s.nextSlot {
 			// The next slot's columns are already prepared (fused pass):
 			// re-alias the static columns so they cover the grown table.
@@ -432,8 +471,15 @@ func (o *OpenSim) reuseSlot(idx int, sess *workload.Session) {
 	s.alloc[idx] = 0
 	o.ended[idx] = false
 	if s.abrCtls != nil {
-		ctl, _ := abr.NewController(*s.cfg.ABR) // validated by Config.Validate
-		s.abrCtls[idx] = ctl
+		// Recycle the slot's controller: Reset returns it to NewController's
+		// state (the rung index is the only mutable field), so reuse is
+		// indistinguishable from a fresh allocation.
+		if ctl := s.abrCtls[idx]; ctl != nil {
+			ctl.Reset()
+		} else {
+			ctl, _ := abr.NewController(*s.cfg.ABR) // validated by Config.Validate
+			s.abrCtls[idx] = ctl
+		}
 	}
 }
 
@@ -486,9 +532,23 @@ func (o *OpenSim) initBuffer(idx int, sess *workload.Session) {
 	}
 }
 
+// compactPending rewinds the engine's pending list to the head of its
+// backing array (admit drains it by advancing pendHead, not by
+// re-slicing), so the open engine's inserts and removals below can treat
+// it as a plain slice.
+func (o *OpenSim) compactPending() {
+	s := o.eng
+	if s.pendHead > 0 {
+		n := copy(s.pending, s.pending[s.pendHead:])
+		s.pending = s.pending[:n]
+		s.pendHead = 0
+	}
+}
+
 // insertPending inserts idx into the pending list keeping the engine's
 // (StartSlot, index) admission order.
 func (o *OpenSim) insertPending(idx, start int) {
+	o.compactPending()
 	s := o.eng
 	pos := len(s.pending)
 	for k, j := range s.pending {
@@ -515,18 +575,22 @@ func (o *OpenSim) Serial(id int) (uint64, bool) {
 	return o.serials[id], true
 }
 
-// DepartSerial is Depart guarded against slot reuse: it departs table
-// slot id only if it still hosts the session with admission serial ser.
-// It reports whether a departure happened; a stale serial (the session
-// already ended, and possibly a new one moved in) is a no-op, not an
-// error — exactly what a churn driver wants when a planned abandonment
-// races a natural completion.
+// DepartSerial is Depart guarded against slot reuse: it departs the
+// session with admission serial ser if it is still in service. It
+// reports whether a departure happened; a stale serial (the session
+// already ended, and possibly a new one moved into its slot) is a
+// no-op, not an error — exactly what a churn driver wants when a
+// planned abandonment races a natural completion. The serial is looked
+// up directly, so the call stays correct even after resident-set
+// compaction moves the session to a different table slot; id is the
+// caller's last known slot and is accepted for compatibility only.
 func (o *OpenSim) DepartSerial(id int, ser uint64) (bool, error) {
-	cur, ok := o.Serial(id)
-	if !ok || cur != ser {
+	idx, ok := o.bySerial[ser]
+	if !ok {
 		return false, nil
 	}
-	if err := o.Depart(id); err != nil {
+	_ = id
+	if err := o.Depart(idx); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -551,6 +615,7 @@ func (o *OpenSim) Depart(id int) error {
 		if !u.buf.PlaybackComplete() {
 			s.unfinished--
 		}
+		o.compactPending()
 		s.pending = removeValue(s.pending, id)
 		s.live = removeSortedValue(s.live, id)
 		u.retired = true
@@ -596,8 +661,20 @@ func (o *OpenSim) fold(id int, completed bool) {
 	o.stats.DemandKBps -= s.sessions[id].BaseRate
 	o.endedInWin++
 	o.ended[id] = true
+	delete(o.bySerial, o.serials[id])
+	if o.owned[id] {
+		// Engine-owned clone (mid-run admission): recycle it so the next
+		// Admit reuses the storage instead of allocating.
+		o.sessPool = append(o.sessPool, s.sessions[id])
+		o.owned[id] = false
+	}
+	if s.openTile != nil {
+		// Drop the row (and quiesce the background compile — it may be
+		// reading sessions[id]) before the occupancy slot is cleared.
+		s.openTile.removeRow(id)
+	}
 	s.sessions[id] = nil // occupancy signal for the tile; slot is reusable
-	o.freelist = insertSorted(o.freelist, id)
+	o.freelist = insertSortedDesc(o.freelist, id)
 	o.stats.FreeSlots = len(o.freelist)
 }
 
@@ -635,6 +712,7 @@ func (o *OpenSim) AdvanceTo(upto int) (bool, error) {
 	}
 	o.reap()
 	o.rotateWindows()
+	o.maybeCompact()
 	if o.unbounded {
 		done = false
 	}
@@ -663,9 +741,13 @@ func (o *OpenSim) rotateWindows() {
 		snap.RebufferP99 = o.rebufHist.Quantile(0.99)
 		snap.EnergyP50 = o.energyHist.Quantile(0.5)
 		snap.EnergyP99 = o.energyHist.Quantile(0.99)
-		o.snaps = append(o.snaps, snap)
-		if len(o.snaps) > o.windows {
-			o.snaps = o.snaps[len(o.snaps)-o.windows:]
+		// Ring the retained snapshots in place: the append-then-reslice
+		// idiom let the backing array creep one entry per window forever.
+		if len(o.snaps) == o.windows {
+			copy(o.snaps, o.snaps[1:])
+			o.snaps[o.windows-1] = snap
+		} else {
+			o.snaps = append(o.snaps, snap)
 		}
 		o.rebufHist.Rotate()
 		o.energyHist.Rotate()
@@ -682,7 +764,11 @@ func (o *OpenSim) rotateWindows() {
 			if drop > len(s.curRes.PerSlot) {
 				drop = len(s.curRes.PerSlot)
 			}
-			s.curRes.PerSlot = s.curRes.PerSlot[drop:]
+			// Copy down instead of re-slicing the head: the head-slice trim
+			// abandoned `drop` entries of backing array per rotation, forcing
+			// a reallocation every few windows for the life of the run.
+			n := copy(s.curRes.PerSlot, s.curRes.PerSlot[drop:])
+			s.curRes.PerSlot = s.curRes.PerSlot[:n]
 			o.perSlotBase += drop
 		}
 	}
@@ -723,6 +809,7 @@ func (o *OpenSim) Stats() OpenStats {
 // per-user entries of reused table slots describe only their latest
 // session.
 func (o *OpenSim) Finish() *Result {
+	o.Stop()
 	s := o.eng
 	for i := range s.users {
 		if !o.ended[i] && s.sessions[i] != nil {
@@ -730,6 +817,143 @@ func (o *OpenSim) Finish() *Result {
 		}
 	}
 	return s.Finish()
+}
+
+// Stop quiesces the tile's background compilation pipeline (idempotent,
+// and a no-op without a tile). Finish calls it; drivers abandoning a
+// sim on an error path should call it too so no goroutine outlives the
+// run.
+func (o *OpenSim) Stop() {
+	if o.eng.openTile != nil {
+		o.eng.openTile.stopBg()
+	}
+}
+
+// compactMinTable is the smallest session table resident-set compaction
+// bothers with: below it the dense kernels' serial cutoff makes the
+// sparse path cheap anyway.
+const compactMinTable = 64
+
+// maybeCompact shrinks the session table when churn has left it mostly
+// holes: with fewer than half the slots live, freed rows are compacted
+// out so the resident set is an identity prefix again and the dense
+// column kernels re-engage. Unbounded mode only — a bounded run's
+// Result is indexed by table slot and must stay byte-identical to the
+// closed engine's.
+func (o *OpenSim) maybeCompact() {
+	if !o.unbounded {
+		return
+	}
+	n := len(o.eng.users)
+	if n < compactMinTable || 2*(n-len(o.freelist)) >= n {
+		return
+	}
+	o.compact()
+}
+
+// compact moves every live session down over the freed slots, keeping
+// relative order (so the live and pending lists stay sorted under the
+// monotone remap), truncates the per-user arrays, and invalidates the
+// tile so its next window compiles over the dense identity row set.
+func (o *OpenSim) compact() {
+	s := o.eng
+	if s.openTile != nil {
+		s.openTile.syncFill()
+	}
+	o.compactPending()
+	if cap(o.remap) < len(s.users) {
+		o.remap = make([]int, len(s.users))
+	}
+	remap := o.remap[:len(s.users)]
+	reattach := s.colsSlot == s.nextSlot
+	c := &s.cols
+	w := 0
+	for i := range s.users {
+		if s.sessions[i] == nil {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = w
+		if w != i {
+			s.sessions[w] = s.sessions[i]
+			s.sessions[w].ID = w
+			s.users[w] = s.users[i]
+			s.alloc[w] = s.alloc[i]
+			s.curRes.Users[w] = s.curRes.Users[i]
+			o.ended[w] = o.ended[i]
+			o.serials[w] = o.serials[i]
+			o.owned[w] = o.owned[i]
+			c.Active[w] = c.Active[i]
+			c.BufferSec[w] = c.BufferSec[i]
+			c.RemainingKB[w] = c.RemainingKB[i]
+			c.TailGap[w] = c.TailGap[i]
+			c.NeverActive[w] = c.NeverActive[i]
+			c.MaxUnits[w] = c.MaxUnits[i]
+			if s.openTile == nil {
+				c.Sig[w] = c.Sig[i]
+				c.LinkRate[w] = c.LinkRate[i]
+				c.EnergyPerKB[w] = c.EnergyPerKB[i]
+				c.Rate[w] = c.Rate[i]
+			} else if s.cfg.ABR != nil {
+				c.Rate[w] = c.Rate[i]
+			}
+			if s.abrCtls != nil {
+				s.abrCtls[w] = s.abrCtls[i]
+			}
+		}
+		o.bySerial[o.serials[w]] = w
+		w++
+	}
+	s.sessions = s.sessions[:w]
+	s.users = s.users[:w]
+	s.alloc = s.alloc[:w]
+	s.curRes.Users = s.curRes.Users[:w]
+	o.ended = o.ended[:w]
+	o.serials = o.serials[:w]
+	o.owned = o.owned[:w]
+	c.Active = c.Active[:w]
+	c.BufferSec = c.BufferSec[:w]
+	c.RemainingKB = c.RemainingKB[:w]
+	c.TailGap = c.TailGap[:w]
+	c.NeverActive = c.NeverActive[:w]
+	c.MaxUnits = c.MaxUnits[:w]
+	if s.openTile == nil {
+		c.Sig = c.Sig[:w]
+		c.LinkRate = c.LinkRate[:w]
+		c.EnergyPerKB = c.EnergyPerKB[:w]
+		c.Rate = c.Rate[:w]
+	} else if s.cfg.ABR != nil {
+		c.Rate = c.Rate[:w]
+	}
+	if s.abrCtls != nil {
+		s.abrCtls = s.abrCtls[:w]
+	}
+	o.freelist = o.freelist[:0]
+	o.stats.FreeSlots = 0
+	// The remap is monotone, so in-place rewrites keep both lists sorted
+	// in the engine's (StartSlot, index) and ascending orders.
+	for k, id := range s.live {
+		s.live[k] = remap[id]
+	}
+	for k, id := range s.pending {
+		s.pending[k] = remap[id]
+	}
+	if reattach {
+		for k, id := range s.activeBuf {
+			s.activeBuf[k] = remap[id]
+		}
+	} else {
+		s.activeBuf = s.activeBuf[:0]
+	}
+	if s.openTile != nil {
+		s.openTile.compactRows(w)
+		if reattach {
+			// The fused pass already prepared the next slot: re-alias the
+			// static columns over the compacted (and freshly recompiled)
+			// tile rows.
+			s.attachSlotColumns(s.nextSlot)
+		}
+	}
 }
 
 // removeValue deletes the first occurrence of v from xs (order kept).
@@ -740,6 +964,23 @@ func removeValue(xs []int, v int) []int {
 			return xs[:len(xs)-1]
 		}
 	}
+	return xs
+}
+
+// insertSortedDesc inserts v into descending-sorted xs.
+func insertSortedDesc(xs []int, v int) []int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] > v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	xs = append(xs, 0)
+	copy(xs[lo+1:], xs[lo:])
+	xs[lo] = v
 	return xs
 }
 
@@ -761,21 +1002,11 @@ func removeSortedValue(xs []int, v int) []int {
 	return xs
 }
 
-// openTile is the open-system engine's horizon-free link window: a
-// slot-major block of analytic physics rows (signal, throughput, energy
-// price, required rate, Eq. (1) link units) covering `window` slots ×
-// `cap` table rows, recompiled in place as the clock crosses window
-// boundaries — ring-buffered link state whose memory never depends on
-// uptime. attachSlotColumns aliases a slot's rows zero-copy, exactly
-// like the closed engine's link-table windows; the values are computed
-// with the same expressions prepareColsUser's analytic branch uses, so
-// the tiled and analytic paths are bit-identical.
-type openTile struct {
-	sim    *Simulator
-	window int
-	cap    int
-	base   int // first slot of the resident window; -1 = none
-
+// tileBlock is one compiled window of the open tile: a slot-major block
+// of analytic physics rows (signal, throughput, energy price, required
+// rate, Eq. (1) link units) covering `window` slots × `cap` table rows.
+type tileBlock struct {
+	base  int // first slot the block covers; -1 = not compiled
 	sig   []units.DBm
 	linkR []units.KBps
 	epkb  []units.MJ
@@ -783,62 +1014,287 @@ type openTile struct {
 	lu    []int32
 }
 
-func newOpenTile(sim *Simulator, window, capSessions int) *openTile {
+// openTile is the open-system engine's horizon-free link window:
+// ring-buffered link state whose memory never depends on uptime.
+// attachSlotColumns aliases a slot's rows zero-copy, exactly like the
+// closed engine's link-table windows; the values are computed with the
+// same expressions prepareColsUser's analytic branch uses, so the tiled
+// and analytic paths are bit-identical.
+//
+// Two perf structures ride on top of the original single-block design:
+//
+//   - a live-row set (rows): compilation touches only resident sessions,
+//     not all `cap` table rows, and when the set is an identity prefix
+//     (rowsDense) the per-slot fill runs the dense tile kernel;
+//   - a double-buffered pipeline (cur/next): after each window swap the
+//     following window compiles on a background goroutine while the
+//     current one ticks, so the rollover slot pays a swap, not a
+//     compile. The engine's pinPrevColumns copies the evicted slot's
+//     aliased rows *before* attach triggers the swap, which is what
+//     makes refilling the outgoing block in the background safe.
+//
+// All mutation entry points (admitRow/removeRow/compactRows/ensure) call
+// syncFill first, so the background worker is always quiescent — the
+// channel handshake gives the happens-before edge — before rows or
+// session state move under it.
+type openTile struct {
+	sim    *Simulator
+	window int
+	cap    int
+	// horizon clamps background fills in bounded mode: slots at or past
+	// it are never compiled, because bounded-mode sessions may carry
+	// memoized signal traces that only cover [0, MaxSlots) and growing a
+	// memo from two goroutines would race. -1 = unbounded (vetSession
+	// enforces stateless traces, so any slot is safe to fill anywhere).
+	horizon int
+	// radio/tau/unit are copied out of the engine config at construction
+	// so the background worker never reads cfg fields the unbounded
+	// AdvanceTo mutates (MaxSlots shares the struct).
+	radio radio.Model
+	tau   float64
+	unit  float64
+
+	cur, next *tileBlock
+
+	// rows is the ascending live-row set compilation covers; rowsDense
+	// marks it an identity prefix [0, len(rows)).
+	rows      []int
+	rowsDense bool
+
+	// Background pipeline state. kick carries the next block's base slot
+	// to the worker; done signals its completion. inflight tracks an
+	// outstanding fill, nextReady a completed one not yet swapped in.
+	bg        bool
+	kick      chan int
+	done      chan struct{}
+	inflight  bool
+	nextReady bool
+	stopped   bool
+
+	// Fill-loop bindings: set before each Shard so the per-index bodies
+	// are method values bound once at construction — no closure
+	// allocation per window rollover.
+	fillBlk    *tileBlock
+	fillBase   int
+	fillHi     int
+	fillRowFn  func(int)
+	fillSlotFn func(int)
+}
+
+func newOpenTile(sim *Simulator, window, capSessions int, unbounded bool) *openTile {
 	size := window * capSessions
-	return &openTile{
-		sim: sim, window: window, cap: capSessions, base: -1,
-		sig:   make([]units.DBm, size),
-		linkR: make([]units.KBps, size),
-		epkb:  make([]units.MJ, size),
-		rate:  make([]units.KBps, size),
-		lu:    make([]int32, size),
+	newBlock := func() *tileBlock {
+		return &tileBlock{
+			base:  -1,
+			sig:   make([]units.DBm, size),
+			linkR: make([]units.KBps, size),
+			epkb:  make([]units.MJ, size),
+			rate:  make([]units.KBps, size),
+			lu:    make([]int32, size),
+		}
 	}
+	t := &openTile{
+		sim: sim, window: window, cap: capSessions,
+		horizon: sim.cfg.MaxSlots,
+		radio:   sim.cfg.Radio,
+		tau:     float64(sim.cfg.Tau),
+		unit:    float64(sim.cfg.Unit),
+		cur:     newBlock(),
+		next:    newBlock(),
+		rows:    make([]int, 0, capSessions),
+		kick:    make(chan int, 1),
+		done:    make(chan struct{}, 1),
+	}
+	if unbounded {
+		t.horizon = -1
+	}
+	// Initial population occupies an identity prefix.
+	for i := range sim.sessions {
+		t.rows = append(t.rows, i)
+	}
+	t.rowsDense = true
+	t.fillRowFn = t.fillRowBody
+	t.fillSlotFn = t.fillSlotBody
+	return t
 }
 
 // willEvict reports whether attaching slot n recompiles the window.
 func (t *openTile) willEvict(n int) bool {
-	return t.base < 0 || n < t.base || n >= t.base+t.window
+	return t.cur.base < 0 || n < t.cur.base || n >= t.cur.base+t.window
 }
 
-// ensure makes the resident window cover slot n, recompiling rows for
-// every occupied table slot on a crossing. Windows are aligned to
-// multiples of the window length so boundaries are stable.
+// ensure makes the resident window cover slot n. Windows are aligned to
+// multiples of the window length so boundaries are stable. On the warm
+// path (sequential clock, prefetch landed) the crossing is a pointer
+// swap; the freshly evicted block immediately starts compiling the
+// window after next in the background.
 func (t *openTile) ensure(n int) {
 	if !t.willEvict(n) {
 		return
 	}
-	t.base = n - n%t.window
-	for i, sess := range t.sim.sessions {
-		if sess != nil {
-			t.fillUser(i, sess)
-		}
+	base := n - n%t.window
+	t.syncFill()
+	if t.nextReady && t.next.base == base {
+		t.cur, t.next = t.next, t.cur
+	} else {
+		t.fillBlockInto(t.cur, base)
+	}
+	t.nextReady = false
+	t.prefetch(base + t.window)
+}
+
+// prefetch kicks the background worker to compile the window starting
+// at base into the spare block. Skipped past the bounded horizon and
+// after stopBg.
+func (t *openTile) prefetch(base int) {
+	if t.stopped || (t.horizon >= 0 && base >= t.horizon) {
+		return
+	}
+	if !t.bg {
+		t.bg = true
+		go t.bgLoop()
+	}
+	t.inflight = true
+	t.kick <- base
+}
+
+// bgLoop is the background compiler: one fill per kick, completion
+// signalled on done. It owns t.next exclusively between the two channel
+// operations; syncFill's receive is the happens-before edge back.
+func (t *openTile) bgLoop() {
+	for base := range t.kick {
+		t.fillBlockInto(t.next, base)
+		t.done <- struct{}{}
 	}
 }
 
-// fillUser (re)computes user i's rows for the resident window — called
-// on window crossings and when a session is admitted mid-window.
-func (t *openTile) fillUser(i int, sess *workload.Session) {
-	if t.base < 0 {
+// syncFill drains an outstanding background fill, marking the spare
+// block ready. Every caller that reads or mutates tile/session state
+// shared with the worker must pass through here first.
+func (t *openTile) syncFill() {
+	if t.inflight {
+		<-t.done
+		t.inflight = false
+		t.nextReady = true
+	}
+}
+
+// stopBg quiesces and permanently stops the background worker
+// (idempotent). Further window crossings compile synchronously.
+func (t *openTile) stopBg() {
+	t.syncFill()
+	if t.bg {
+		close(t.kick)
+		t.bg = false
+	}
+	t.stopped = true
+}
+
+// fillBlockInto compiles the window starting at base into b, covering
+// only the live rows — dense identity prefixes shard over slots and run
+// the BCE-verified tile kernel, sparse sets shard over rows.
+func (t *openTile) fillBlockInto(b *tileBlock, base int) {
+	hi := base + t.window
+	if t.horizon >= 0 && hi > t.horizon {
+		hi = t.horizon
+	}
+	b.base = base
+	if len(t.rows) == 0 || hi <= base {
 		return
 	}
-	cfg := &t.sim.cfg
-	tau, unit := float64(cfg.Tau), float64(cfg.Unit)
-	for off := 0; off < t.window; off++ {
-		slot := t.base + off
-		sig := sess.Signal.At(slot)
-		link := cfg.Radio.Throughput.Throughput(sig)
-		k := off*t.cap + i
-		t.sig[k] = sig
-		t.linkR[k] = link
-		t.epkb[k] = cfg.Radio.Power.EnergyPerKB(sig)
-		t.rate[k] = sess.RateAt(slot)
-		t.lu[k] = int32(floorUnits(float64(link)*tau, unit))
+	t.fillBlk, t.fillBase, t.fillHi = b, base, hi
+	workers := t.sim.workers
+	if len(t.rows) < smallNSerialCutoff {
+		workers = 1
 	}
+	if t.rowsDense {
+		pool.Shard(workers, t.window, t.fillSlotFn)
+	} else {
+		pool.Shard(workers, len(t.rows), t.fillRowFn)
+	}
+}
+
+// fillRowBody compiles one live row across the bound window — the
+// sparse-occupancy path, and the per-user path admitRow reuses.
+func (t *openTile) fillRowBody(j int) {
+	i := t.rows[j]
+	t.fillRowInto(t.fillBlk, t.fillBase, t.fillHi, i, t.sim.sessions[i])
+}
+
+// fillSlotBody compiles one slot across the dense row prefix.
+func (t *openTile) fillSlotBody(off int) {
+	slot := t.fillBase + off
+	if slot >= t.fillHi {
+		return
+	}
+	t.fillTileSlot(t.fillBlk, off, slot, len(t.rows))
+}
+
+// fillRowInto (re)computes user i's rows for block b's window.
+func (t *openTile) fillRowInto(b *tileBlock, base, hi, i int, sess *workload.Session) {
+	for slot := base; slot < hi; slot++ {
+		sig := sess.Signal.At(slot)
+		link := t.radio.Throughput.Throughput(sig)
+		k := (slot-base)*t.cap + i
+		b.sig[k] = sig
+		b.linkR[k] = link
+		b.epkb[k] = t.radio.Power.EnergyPerKB(sig)
+		b.rate[k] = sess.RateAt(slot)
+		b.lu[k] = int32(floorUnits(float64(link)*t.tau, t.unit))
+	}
+}
+
+// admitRow registers a newly admitted session and compiles its rows
+// into the resident window (and the prefetched one, if landed) so the
+// next attach reads correct values without a full recompile.
+func (t *openTile) admitRow(i int, sess *workload.Session) {
+	t.syncFill()
+	t.rows = insertSorted(t.rows, i)
+	t.rowsDense = t.rows[len(t.rows)-1] == len(t.rows)-1
+	if t.cur.base >= 0 {
+		hi := t.cur.base + t.window
+		if t.horizon >= 0 && hi > t.horizon {
+			hi = t.horizon
+		}
+		t.fillRowInto(t.cur, t.cur.base, hi, i, sess)
+	}
+	if t.nextReady {
+		hi := t.next.base + t.window
+		if t.horizon >= 0 && hi > t.horizon {
+			hi = t.horizon
+		}
+		t.fillRowInto(t.next, t.next.base, hi, i, sess)
+	}
+}
+
+// removeRow drops a folded session from the live-row set; its stale
+// block values are unreachable (the slot is free until the next admit,
+// which refills the row).
+func (t *openTile) removeRow(i int) {
+	t.syncFill()
+	t.rows = removeSortedValue(t.rows, i)
+	t.rowsDense = len(t.rows) == 0 || t.rows[len(t.rows)-1] == len(t.rows)-1
+}
+
+// compactRows resets the live-row set to the identity prefix [0, w)
+// after resident-set compaction and invalidates both blocks — row
+// indices moved, so the next attach recompiles (dense) from scratch.
+func (t *openTile) compactRows(w int) {
+	t.syncFill()
+	t.nextReady = false
+	t.cur.base = -1
+	t.next.base = -1
+	t.rows = t.rows[:0]
+	for i := 0; i < w; i++ {
+		t.rows = append(t.rows, i)
+	}
+	t.rowsDense = true
 }
 
 // slotColumns returns slot n's rows as length-len(users) column slices.
 func (t *openTile) slotColumns(n int) ([]units.DBm, []units.KBps, []units.MJ, []units.KBps, []int32) {
-	off := (n - t.base) * t.cap
+	b := t.cur
+	off := (n - b.base) * t.cap
 	m := len(t.sim.users)
-	return t.sig[off : off+m], t.linkR[off : off+m], t.epkb[off : off+m], t.rate[off : off+m], t.lu[off : off+m]
+	return b.sig[off : off+m], b.linkR[off : off+m], b.epkb[off : off+m], b.rate[off : off+m], b.lu[off : off+m]
 }

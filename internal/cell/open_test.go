@@ -453,3 +453,237 @@ func TestOpenDepartPending(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 }
+
+// The free-list's backing array must not creep: the old pop re-sliced
+// the head, abandoning one slot of storage per reuse and forcing a
+// reallocation every O(cap) churn cycles. The descending-sort/tail-pop
+// discipline keeps the array anchored, so sustained admit/depart cycling
+// holds its capacity flat after the first few cycles.
+func TestOpenFreelistStableCapacity(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.RunFullHorizon = true
+	cfg.MaxSlots = 1 << 20
+	initial := openSessions(4)
+	for _, s := range initial {
+		s.Size = 1 << 20 // never completes; only Depart frees slots
+		s.StartSlot = 0
+	}
+	o, err := NewOpen(OpenConfig{Cell: cfg, Unbounded: true, MaxSessions: 8}, initial, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	template := openSessions(1)[0]
+	template.Size = 1 << 20
+	warmCap := -1
+	for cycle := 0; cycle < 300; cycle++ {
+		// Free two slots, reuse them, tick a little.
+		if err := o.Depart(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Depart(3); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 2; k++ {
+			if _, err := o.Admit(template); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := o.AdvanceTo(o.Clock() + 2); err != nil {
+			t.Fatal(err)
+		}
+		if cycle == 9 {
+			warmCap = cap(o.freelist)
+		}
+		if cycle > 9 && cap(o.freelist) != warmCap {
+			t.Fatalf("freelist capacity crept: %d after cycle %d, was %d after warmup", cap(o.freelist), cycle, warmCap)
+		}
+	}
+	if st := o.Stats(); st.TableLen != 4 {
+		t.Fatalf("table grew to %d slots under pure-reuse churn, want 4", st.TableLen)
+	}
+}
+
+// Resident-set compaction: when churn empties most of the table in
+// unbounded mode, live rows are packed down to an identity prefix. The
+// move must be invisible — serial lookups keep working (DepartSerial
+// included), the ledger conserves, and the tiled and analytic arms stay
+// identical — while the table visibly shrinks.
+func TestOpenCompactionChurn(t *testing.T) {
+	run := func(tileSlots, workers int) (OpenStats, []WindowSnapshot, map[uint64]bool) {
+		cfg := tinyConfig()
+		cfg.RunFullHorizon = true
+		cfg.MaxSlots = 64
+		cfg.Workers = workers
+		cfg.ShardSize = 16
+		o, err := NewOpen(OpenConfig{
+			Cell: cfg, Unbounded: true, MaxSessions: 256,
+			TileSlots: tileSlots, WindowSlots: 32, Windows: 2,
+		}, nil, sched.NewDefault())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		// Fill well past the compaction floor.
+		sers := make([]uint64, 0, 200)
+		big := openSessions(1)[0]
+		big.Size = 1 << 20 // never completes within the script
+		for i := 0; i < 200; i++ {
+			idx, err := o.Admit(big)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ser, ok := o.Serial(idx)
+			if !ok {
+				t.Fatalf("no serial for fresh admit %d", idx)
+			}
+			sers = append(sers, ser)
+		}
+		if _, err := o.AdvanceTo(40); err != nil {
+			t.Fatal(err)
+		}
+		grown := o.Stats().TableLen
+		if grown != 200 {
+			t.Fatalf("table length %d before churn, want 200", grown)
+		}
+		// Depart 180 of 200: live fraction 10% < 50% triggers compaction
+		// on the next AdvanceTo.
+		for _, ser := range sers[:180] {
+			if ok, err := o.DepartSerial(-1, ser); err != nil || !ok {
+				t.Fatalf("depart serial %d: ok=%v err=%v", ser, ok, err)
+			}
+		}
+		if _, err := o.AdvanceTo(80); err != nil {
+			t.Fatal(err)
+		}
+		if got := o.Stats().TableLen; got != 20 {
+			t.Fatalf("table not compacted: length %d, want 20", got)
+		}
+		// Every survivor is still addressable by serial, and the slot the
+		// ledger maps it to agrees with Serial.
+		alive := make(map[uint64]bool)
+		for _, ser := range sers[180:] {
+			idx, ok := o.bySerial[ser]
+			if !ok {
+				t.Fatalf("serial %d lost by compaction", ser)
+			}
+			if got, ok := o.Serial(idx); !ok || got != ser {
+				t.Fatalf("slot %d serial: got %d ok=%v, want %d", idx, got, ok, ser)
+			}
+			alive[ser] = true
+		}
+		// DepartSerial still lands after the move.
+		if ok, err := o.DepartSerial(-1, sers[190]); err != nil || !ok {
+			t.Fatalf("post-compaction DepartSerial: ok=%v err=%v", ok, err)
+		}
+		delete(alive, sers[190])
+		// Admissions after compaction land in freed or appended slots and
+		// the run keeps serving.
+		if _, err := o.Admit(big); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.AdvanceTo(160); err != nil {
+			t.Fatal(err)
+		}
+		st := o.Stats()
+		if st.Admitted != st.Completed+st.Departed+st.InService {
+			t.Fatalf("ledger leaks after compaction: %+v", st)
+		}
+		o.Finish()
+		return st, o.Snapshots(), alive
+	}
+	base, baseSnaps, _ := run(0, 1)
+	for _, arm := range []struct{ tile, workers int }{{16, 1}, {16, 4}, {0, 4}} {
+		st, snaps, _ := run(arm.tile, arm.workers)
+		if st != base {
+			t.Errorf("tile=%d workers=%d: stats %+v != %+v", arm.tile, arm.workers, st, base)
+		}
+		if !reflect.DeepEqual(snaps, baseSnaps) {
+			t.Errorf("tile=%d workers=%d: snapshots diverge", arm.tile, arm.workers)
+		}
+	}
+}
+
+// FuzzAdmitDepartSerial drives a random admit/depart/advance script
+// against an unbounded, tiled, compacting OpenSim and asserts the
+// serial ledger never tears: a departed or stale serial is a clean
+// no-op, a live serial always resolves to a slot whose Serial agrees,
+// and the session ledger conserves at every step.
+func FuzzAdmitDepartSerial(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 0, 2, 1, 3, 2})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		cfg := tinyConfig()
+		cfg.RunFullHorizon = true
+		cfg.MaxSlots = 64
+		o, err := NewOpen(OpenConfig{
+			Cell: cfg, Unbounded: true, MaxSessions: 96,
+			TileSlots: 8, WindowSlots: 16, Windows: 2,
+		}, nil, sched.NewDefault())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		template := openSessions(1)[0]
+		var live []uint64 // serials we admitted and have not departed
+		for _, op := range script {
+			switch op % 4 {
+			case 0, 1: // admit
+				idx, err := o.Admit(template)
+				if errors.Is(err, ErrOverCapacity) {
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				ser, ok := o.Serial(idx)
+				if !ok {
+					t.Fatalf("fresh admit at slot %d has no serial", idx)
+				}
+				live = append(live, ser)
+			case 2: // depart one of ours (may have completed naturally)
+				if len(live) == 0 {
+					continue
+				}
+				k := int(op) % len(live)
+				ser := live[k]
+				if _, err := o.DepartSerial(-1, ser); err != nil {
+					t.Fatal(err)
+				}
+				// Departed either way now (by us or by natural completion):
+				// the serial must no longer resolve.
+				if _, ok := o.bySerial[ser]; ok {
+					t.Fatalf("serial %d still resolves after depart", ser)
+				}
+				live = append(live[:k], live[k+1:]...)
+			case 3: // advance (reaps, rotates, maybe compacts)
+				if _, err := o.AdvanceTo(o.Clock() + int(op%32) + 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Ledger conservation and serial/slot agreement, every step.
+			st := o.Stats()
+			if st.Admitted != st.Completed+st.Departed+st.InService {
+				t.Fatalf("ledger leaks: %+v", st)
+			}
+			for ser, idx := range o.bySerial {
+				if got, ok := o.Serial(idx); !ok || got != ser {
+					t.Fatalf("bySerial[%d]=%d but Serial(%d)=%d ok=%v", ser, idx, idx, got, ok)
+				}
+			}
+		}
+		o.Finish()
+		if st := o.Stats(); st.InService != 0 {
+			t.Fatalf("Finish left %d in service", st.InService)
+		}
+	})
+}

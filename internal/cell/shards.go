@@ -16,7 +16,7 @@ import (
 func (s *Simulator) prepareShardBody(sh int) {
 	lo, hi := shardBounds(sh, s.curShards, len(s.curLive))
 	act := s.shardAct[sh][:0]
-	if s.curDense && s.link != nil && s.abrCtls == nil {
+	if s.curDense && s.colsTabled() && s.abrCtls == nil {
 		act = s.prepareDenseLink(s.curSlot, lo, hi, act)
 	} else {
 		tabled := s.colsTabled()
@@ -62,7 +62,7 @@ func (s *Simulator) fusedShardBody(sh int) {
 	acc := &s.shardAcc[sh]
 	*acc = slotAccum{errUser: -1}
 	act := s.shardAct[sh][:0]
-	if s.curDense && s.link != nil && s.abrCtls == nil && !s.cfg.RecordPerUserSlots {
+	if s.curDense && s.colsTabled() && s.abrCtls == nil && !s.cfg.RecordPerUserSlots {
 		act = s.fusedDenseLink(s.curSlot, lo, hi, act, acc)
 	} else {
 		res := s.curRes

@@ -1,0 +1,41 @@
+package cell
+
+// Dense open-tile compile kernel. When the live-row set is the identity
+// prefix [0, m) — the open system's steady state between churn bursts,
+// and always after resident-set compaction — window compilation shards
+// over slots and each slot's rows are written through length-equalized
+// reslices, so the column stores carry no per-element bounds checks.
+// The bce-check CI job builds this file with -d=ssa/check_bce like
+// kernels.go; keep the reslice structure when editing.
+
+// fillTileSlot compiles one slot's physics rows for the dense prefix
+// [0, m) into block b at slot offset off. The per-element expressions
+// are exactly fillRowInto's — same reads, same float ops — so the dense
+// and sparse compile paths stay bit-identical.
+func (t *openTile) fillTileSlot(b *tileBlock, off, slot, m int) {
+	k := off * t.cap
+	sig := b.sig[k : k+m]
+	linkR := b.linkR[k : k+m]
+	epkb := b.epkb[k : k+m]
+	rate := b.rate[k : k+m]
+	lu := b.lu[k : k+m]
+	sessions := t.sim.sessions[:m]
+	// Length-equalizing reslices: pin every column to len(sessions) so
+	// the compiler can prove x[i] in range for i := range sessions.
+	sig = sig[:len(sessions)]
+	linkR = linkR[:len(sessions)]
+	epkb = epkb[:len(sessions)]
+	rate = rate[:len(sessions)]
+	lu = lu[:len(sessions)]
+	thr, pow := t.radio.Throughput, t.radio.Power
+	tau, unit := t.tau, t.unit
+	for i, sess := range sessions {
+		sv := sess.Signal.At(slot)
+		link := thr.Throughput(sv)
+		sig[i] = sv
+		linkR[i] = link
+		epkb[i] = pow.EnergyPerKB(sv)
+		rate[i] = sess.RateAt(slot)
+		lu[i] = int32(floorUnits(float64(link)*tau, unit))
+	}
+}

@@ -134,6 +134,16 @@ func RunOpenFleet(ctx context.Context, cfg OpenFleetConfig, newSched func() (sch
 	defer cancel()
 
 	sims := make([]*cell.OpenSim, len(cfg.Deploy.Sites))
+	// Quiesce every site's tile-compilation pipeline on the way out, so
+	// an error return mid-run leaks no background goroutine (Stop is
+	// idempotent; Finish below calls it too).
+	defer func() {
+		for _, sim := range sims {
+			if sim != nil {
+				sim.Stop()
+			}
+		}
+	}()
 	for si, site := range cfg.Deploy.Sites {
 		s, err := newSched()
 		if err != nil {

@@ -152,6 +152,8 @@ func (g *Gateway) noteTick(d time.Duration, missed bool) {
 		g.tickHistSlots++
 		if g.tickHistSlots >= tickHistWindowSlots {
 			g.tickHist.Rotate()
+			g.rebufHist.Rotate()
+			g.energyHist.Rotate()
 			g.tickHistSlots = 0
 		}
 	}

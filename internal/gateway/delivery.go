@@ -225,6 +225,7 @@ func (g *Gateway) detach(u *user, reason DetachReason) {
 	if u.detached {
 		return
 	}
+	g.foldSession(u)
 	u.detached = true
 	u.detachReason = reason
 	if u.worker != nil && !u.inFlight {

@@ -173,6 +173,10 @@ type user struct {
 	missedSlots     int
 	// drainCounted marks a session already credited to Diag.Drained.
 	drainCounted bool
+	// folded marks a session whose lifetime rebuffer/energy totals have
+	// landed in the windowed session histograms (fold happens once, at
+	// natural completion or detach, whichever comes first).
+	folded bool
 }
 
 // Stats summarizes one user's progress.
@@ -228,6 +232,12 @@ type Gateway struct {
 	missRing      []bool                // last ShedMissWindowSlots deadline outcomes
 	missHead      int
 	missCount     int
+	// Sliding per-session quality histograms: lifetime rebuffer (sec) and
+	// accounted energy (mJ) fold in when a session ends (completion or
+	// detach), rotating on the tick-histogram cadence. Serves /metrics.
+	rebufHist  *metrics.WindowedHist
+	energyHist *metrics.WindowedHist
+	endedTotal int
 }
 
 // New builds a Gateway around the given scheduling algorithm.
@@ -238,12 +248,15 @@ func New(cfg Config, s sched.Scheduler) (*Gateway, error) {
 	if s == nil {
 		return nil, errors.New("gateway: nil scheduler")
 	}
+	rebuf, energy := newSessionHists()
 	return &Gateway{
-		cfg:      cfg,
-		sched:    s,
-		policy:   cfg.Policy.withDefaults(),
-		wake:     make(chan struct{}, 1),
-		tickHist: newTickHist(),
+		cfg:        cfg,
+		sched:      s,
+		policy:     cfg.Policy.withDefaults(),
+		wake:       make(chan struct{}, 1),
+		tickHist:   newTickHist(),
+		rebufHist:  rebuf,
+		energyHist: energy,
 	}, nil
 }
 
@@ -526,6 +539,7 @@ func (g *Gateway) Step() ([]int, error) {
 	}
 	g.maybeShed()
 	g.countDrained()
+	g.foldFinished()
 	g.slot++
 	g.noteTick(time.Since(tickStart), missedDeadline)
 	return alloc, nil

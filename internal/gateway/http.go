@@ -14,6 +14,9 @@ import (
 //	GET /summary        -> JSON gateway summary (slot count, totals)
 //	GET /diag           -> JSON degradation + open-system counters,
 //	                       tick-duration p50/p99 (ms), drain state
+//	GET /metrics        -> JSON sliding-window session quality: p50/p99
+//	                       lifetime rebuffer (sec) and energy (mJ) over
+//	                       recently ended sessions, plus tick p50/p99
 //
 // All endpoints are read-only; the handler is safe to serve while Step is
 // being driven from another goroutine (the Gateway is internally locked).
@@ -82,6 +85,20 @@ func Handler(gw *Gateway) http.Handler {
 			TickP99Ms:       gw.TickQuantileMs(0.99),
 		})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		m := gw.SessionWindowMetrics()
+		writeJSON(w, metricsView{
+			Slot:        gw.Slot(),
+			EndedWindow: m.EndedWindow,
+			EndedTotal:  m.EndedTotal,
+			RebufP50Sec: m.RebufP50Sec,
+			RebufP99Sec: m.RebufP99Sec,
+			EnergyP50MJ: m.EnergyP50MJ,
+			EnergyP99MJ: m.EnergyP99MJ,
+			TickP50Ms:   gw.TickQuantileMs(0.50),
+			TickP99Ms:   gw.TickQuantileMs(0.99),
+		})
+	})
 	return mux
 }
 
@@ -139,6 +156,19 @@ type diagView struct {
 	Drained         int     `json:"drained"`
 	TickP50Ms       float64 `json:"tick_p50_ms"`
 	TickP99Ms       float64 `json:"tick_p99_ms"`
+}
+
+// metricsView is the JSON shape of the /metrics endpoint.
+type metricsView struct {
+	Slot        int     `json:"slot"`
+	EndedWindow int     `json:"sessions_ended_window"`
+	EndedTotal  int     `json:"sessions_ended_total"`
+	RebufP50Sec float64 `json:"rebuffer_p50_sec"`
+	RebufP99Sec float64 `json:"rebuffer_p99_sec"`
+	EnergyP50MJ float64 `json:"energy_p50_mj"`
+	EnergyP99MJ float64 `json:"energy_p99_mj"`
+	TickP50Ms   float64 `json:"tick_p50_ms"`
+	TickP99Ms   float64 `json:"tick_p99_ms"`
 }
 
 func allStats(gw *Gateway) []statView {

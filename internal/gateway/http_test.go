@@ -128,6 +128,67 @@ func TestHTTPSummary(t *testing.T) {
 	}
 }
 
+func TestHTTPSessionWindowedMetrics(t *testing.T) {
+	g, ep := monitoredGateway(t)
+	for i := 0; i < 10 && !g.AllDone(); i++ {
+		g.Step()
+		ep.Advance()
+	}
+	// One extra tick so the completion reached above is folded into the
+	// session histograms (folding runs at the end of each Step).
+	g.Step()
+
+	m := g.SessionWindowMetrics()
+	if m.EndedTotal != 1 || m.EndedWindow != 1 {
+		t.Fatalf("ended = %d total / %d window, want 1/1", m.EndedTotal, m.EndedWindow)
+	}
+	if m.EnergyP50MJ <= 0 || m.EnergyP99MJ < m.EnergyP50MJ {
+		t.Errorf("energy quantiles p50=%v p99=%v", m.EnergyP50MJ, m.EnergyP99MJ)
+	}
+	if m.RebufP50Sec < 0 || m.RebufP99Sec < m.RebufP50Sec {
+		t.Errorf("rebuffer quantiles p50=%v p99=%v", m.RebufP50Sec, m.RebufP99Sec)
+	}
+
+	srv := httptest.NewServer(Handler(g))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	var mv map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv["sessions_ended_total"].(float64) != 1 {
+		t.Errorf("sessions_ended_total = %v", mv["sessions_ended_total"])
+	}
+	if mv["energy_p50_mj"].(float64) != m.EnergyP50MJ {
+		t.Errorf("energy_p50_mj = %v, want %v", mv["energy_p50_mj"], m.EnergyP50MJ)
+	}
+	for _, k := range []string{"rebuffer_p50_sec", "rebuffer_p99_sec", "energy_p99_mj", "tick_p50_ms", "tick_p99_ms"} {
+		if _, ok := mv[k]; !ok {
+			t.Errorf("metrics missing field %q: %v", k, mv)
+		}
+	}
+}
+
+func TestSessionMetricsFoldOnDetach(t *testing.T) {
+	g, _ := monitoredGateway(t)
+	g.Step()
+	g.mu.Lock()
+	u := g.users[0]
+	g.detach(u, DetachShed)
+	g.detach(u, DetachShed) // idempotent: must not fold twice
+	g.mu.Unlock()
+	if m := g.SessionWindowMetrics(); m.EndedTotal != 1 {
+		t.Fatalf("ended total = %d after detach, want 1", m.EndedTotal)
+	}
+}
+
 func TestHandlerPanicsOnNil(t *testing.T) {
 	defer func() {
 		if recover() == nil {

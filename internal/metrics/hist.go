@@ -129,6 +129,46 @@ func (h *StreamingHist) Merge(other *StreamingHist) error {
 	return nil
 }
 
+// copyFrom overwrites h with other's state, reusing h's bin storage.
+// Both must come from the same NewStreamingHist parameters (equal bin
+// counts), which every WindowedHist ring guarantees by construction.
+func (h *StreamingHist) copyFrom(other *StreamingHist) {
+	copy(h.bins, other.bins)
+	h.width = other.width
+	h.count = other.count
+	h.dropped = other.dropped
+	h.sum = other.sum
+	h.min = other.min
+	h.max = other.max
+}
+
+// foldIn accumulates other into h without touching other and without
+// allocating. It requires other.width ≤ h.width with a power-of-two
+// ratio (the WindowedHist invariant): collapsing other's bins down to
+// h's width and then adding is the same as adding each of other's bins
+// into the target bin k>>shift directly, because bin counts are plain
+// uint64 sums. The counter accumulation mirrors Merge exactly.
+func (h *StreamingHist) foldIn(other *StreamingHist) {
+	shift := 0
+	for w := other.width; w < h.width; w *= 2 {
+		shift++
+	}
+	for k, c := range other.bins {
+		if c != 0 {
+			h.bins[k>>shift] += c
+		}
+	}
+	h.count += other.count
+	h.dropped += other.dropped
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Quantile returns the q-th quantile by the same nearest-rank convention
 // as CDF.Quantile (rank ⌈q·n⌉), discretized to the midpoint of the bin
 // holding that rank and clamped to the exact observed [min, max]. The

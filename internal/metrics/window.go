@@ -23,6 +23,11 @@ type WindowedHist struct {
 	head    int     // ring index of the live window
 	filled  int     // retained windows, live included (≤ len(windows))
 	rotated uint64  // total Rotate calls — a window epoch counter
+	// scratch backs the allocation-free Quantile path: mergedInto
+	// overwrites it with the sliding aggregate on every call, so it never
+	// escapes and the open-system tick loop can take window quantiles at
+	// zero steady-state allocations. Lazily built on first Quantile.
+	scratch *StreamingHist
 }
 
 // NewWindowedHist returns a sliding sketch retaining the given number of
@@ -82,8 +87,44 @@ func (w *WindowedHist) Merged() *StreamingHist {
 
 // Quantile returns the q-th quantile over every retained window, with
 // the same contract (and error bound) as StreamingHist.Quantile on the
-// merged sketch.
-func (w *WindowedHist) Quantile(q float64) float64 { return w.Merged().Quantile(q) }
+// merged sketch. The merge lands in an internal scratch sketch, so
+// repeated calls allocate nothing after the first; the value returned
+// is identical to Merged().Quantile(q) (window_test.go pins it,
+// bin-width misalignment included).
+func (w *WindowedHist) Quantile(q float64) float64 {
+	if w.scratch == nil {
+		w.scratch = w.windows[w.head].Clone()
+	}
+	w.mergedInto(w.scratch)
+	return w.scratch.Quantile(q)
+}
+
+// mergedInto overwrites dst with the merge of every retained window —
+// the same state Merged() builds — reusing dst's bin storage. The
+// incremental Merge loop collapses whichever side is narrower as it
+// goes; because bin counts, the count/dropped/sum accumulators and the
+// min/max folds are all order-insensitive given the same final width
+// (uint64 sums, float adds in the identical window order), collapsing
+// dst to the widest retained width up front and then folding each older
+// window with a shift produces bit-identical bins and counters.
+func (w *WindowedHist) mergedInto(dst *StreamingHist) {
+	head := w.windows[w.head]
+	maxW := head.width
+	for k := 1; k < w.filled; k++ {
+		idx := (w.head - k + len(w.windows)) % len(w.windows)
+		if hw := w.windows[idx].width; hw > maxW {
+			maxW = hw
+		}
+	}
+	dst.copyFrom(head)
+	for dst.width < maxW {
+		dst.collapse()
+	}
+	for k := 1; k < w.filled; k++ {
+		idx := (w.head - k + len(w.windows)) % len(w.windows)
+		dst.foldIn(w.windows[idx])
+	}
+}
 
 // Count returns the observed samples across every retained window.
 func (w *WindowedHist) Count() uint64 {

@@ -176,3 +176,46 @@ func TestStreamingHistClone(t *testing.T) {
 		t.Fatal("clone not equal to source")
 	}
 }
+
+// The scratch-backed Quantile must be bit-identical to the allocating
+// Merged().Quantile path even when the retained windows have diverged
+// bin widths: one window stays at the initial width, one collapses far
+// wider, one lands in between, and rotation keeps shifting which is
+// which. mergedInto's collapse-up-front strategy differs structurally
+// from Merge's incremental collapsing, so this pins their equivalence —
+// sketch state included — across every misalignment the ring can reach.
+func TestWindowedHistQuantileMisalignedWidths(t *testing.T) {
+	const windows, bins = 3, 8
+	w, err := NewWindowedHist(windows, bins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-rotation sample scales: ×1 keeps the initial width, ×100 forces
+	// several collapses, ×10 lands between. Cycling the scales rotates
+	// which retained window is widest, narrowest and in the middle.
+	scales := []float64{1, 100, 10, 100, 1, 10, 1000, 1}
+	qs := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1}
+	for r, scale := range scales {
+		for i := 0; i < 23; i++ {
+			w.Observe(scale * float64(i%7+1) / 3)
+		}
+		for _, q := range qs {
+			want := w.Merged().Quantile(q)
+			got := w.Quantile(q)
+			if got != want {
+				t.Fatalf("rotation %d q=%v: scratch Quantile %v != Merged().Quantile %v", r, q, got, want)
+			}
+		}
+		// The scratch sketch itself must equal the merged sketch, not just
+		// agree at the probed quantiles.
+		if !histsEqual(w.scratch, w.Merged()) {
+			t.Fatalf("rotation %d: scratch state diverged from Merged()", r)
+		}
+		w.Rotate()
+	}
+	// An empty live window over non-empty frozen ones (right after a
+	// rotation) exercises the min=+Inf/max=-Inf copy path.
+	if got, want := w.Quantile(0.5), w.Merged().Quantile(0.5); got != want {
+		t.Fatalf("post-rotation q=0.5: %v != %v", got, want)
+	}
+}

@@ -8,10 +8,12 @@
 package simtest
 
 import (
+	"context"
 	"testing"
 
 	"jointstream/internal/cell"
 	"jointstream/internal/sched"
+	"jointstream/internal/signal"
 	"jointstream/internal/workload"
 )
 
@@ -127,5 +129,71 @@ func TestTickSteadyStatePredictiveWindowAllocs(t *testing.T) {
 	}
 	if got := steadyAllocsPerSlot(t, mk); got != 0 {
 		t.Errorf("steady-state windowed Predictive tick allocates %.2f objects/slot, want 0", got)
+	}
+}
+
+// TestTickSteadyStateChurnZeroAllocs extends the zero-allocation
+// guarantee to the open-system churn steady state: once the session
+// pools, free-list, pending storage, tile blocks and window-metric
+// scratch have grown, a sustained admit → serve → depart cycle — tile
+// window rollovers, pipelined recompiles and metric-window rotations
+// included — allocates nothing per cycle.
+func TestTickSteadyStateChurnZeroAllocs(t *testing.T) {
+	cfg := cell.PaperConfig()
+	cfg.Capacity = 2000
+	cfg.MaxSlots = 64 // initial horizon only; extends on demand
+	cfg.Workers = 1
+	cfg.RunFullHorizon = true
+	o, err := cell.NewOpen(cell.OpenConfig{
+		Cell: cfg, Unbounded: true, MaxSessions: 48,
+		TileSlots: 16, WindowSlots: 32, Windows: 2,
+	}, nil, sched.NewDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One caller-owned template; Admit clones it into pooled storage.
+	// The size is unreachable within the run, so occupancy is driven
+	// purely by the explicit depart-one/admit-one cycle below.
+	template := &workload.Session{
+		Size:     1 << 20,
+		BaseRate: 300,
+		Signal:   signal.Constant(-60, signal.DefaultBounds),
+	}
+	var sers []uint64
+	admit := func() {
+		idx, err := o.Admit(template)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ser, ok := o.Serial(idx)
+		if !ok {
+			t.Fatalf("no serial at slot %d", idx)
+		}
+		sers = append(sers, ser)
+	}
+	for i := 0; i < 24; i++ {
+		admit()
+	}
+	cycle := func() {
+		ok, err := o.DepartSerial(-1, sers[0])
+		if err != nil || !ok {
+			t.Fatalf("depart oldest: ok=%v err=%v", ok, err)
+		}
+		sers = append(sers[:0], sers[1:]...)
+		admit()
+		if _, err := o.AdvanceTo(o.Clock() + 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm every pool: enough cycles to cross several tile windows and
+	// metric-window rotations and to fill the session/free-list pools.
+	for i := 0; i < 40; i++ {
+		cycle()
+	}
+	if got := testing.AllocsPerRun(50, cycle); got != 0 {
+		t.Errorf("churn steady state allocates %.2f objects/cycle, want 0", got)
 	}
 }

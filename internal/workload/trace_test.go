@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"jointstream/internal/units"
+)
+
+func TestParseArrivalTrace(t *testing.T) {
+	csv := `timestamp,rate,duration
+# warm-up epoch: 4 arrivals over 2s starting at t=0
+0,2,2
+10,1,3
+`
+	tr, err := ParseArrivalTrace(strings.NewReader(csv), units.Seconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1: floor(2*2)=4 arrivals at t=0, 0.5, 1, 1.5 -> slots 0,0,1,1.
+	// Epoch 2: floor(1*3)=3 arrivals at t=10, 11, 12 -> slots 10,11,12.
+	want := []int{0, 0, 1, 1, 10, 11, 12}
+	if len(tr.StartSlots) != len(want) {
+		t.Fatalf("StartSlots = %v, want %v", tr.StartSlots, want)
+	}
+	for i, s := range want {
+		if tr.StartSlots[i] != s {
+			t.Fatalf("StartSlots = %v, want %v", tr.StartSlots, want)
+		}
+	}
+}
+
+func TestParseArrivalTraceOverlapSorted(t *testing.T) {
+	// Out-of-order, overlapping epochs must interleave sorted.
+	csv := "5,1,2\n0,1,10\n"
+	tr, err := ParseArrivalTrace(strings.NewReader(csv), units.Seconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.StartSlots) != 12 {
+		t.Fatalf("got %d arrivals, want 12: %v", len(tr.StartSlots), tr.StartSlots)
+	}
+	for i := 1; i < len(tr.StartSlots); i++ {
+		if tr.StartSlots[i] < tr.StartSlots[i-1] {
+			t.Fatalf("unsorted StartSlots: %v", tr.StartSlots)
+		}
+	}
+}
+
+func TestParseArrivalTraceFinerSlots(t *testing.T) {
+	tr, err := ParseArrivalTrace(strings.NewReader("1,4,1\n"), units.Seconds(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 5, 6, 7}
+	for i, s := range want {
+		if tr.StartSlots[i] != s {
+			t.Fatalf("StartSlots = %v, want %v", tr.StartSlots, want)
+		}
+	}
+}
+
+func TestParseArrivalTraceAsProcess(t *testing.T) {
+	// The parsed trace must replay through the ArrivalProcess interface:
+	// gaps reconstruct the absolute slots.
+	tr, err := ParseArrivalTrace(strings.NewReader("0,1,4\n"), units.Seconds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ArrivalSlots(tr, len(tr.StartSlots), tr.StartSlots[0], nil)
+	for i := range got {
+		if got[i] != tr.StartSlots[i] {
+			t.Fatalf("replayed slots %v != trace %v", got, tr.StartSlots)
+		}
+	}
+}
+
+func TestParseArrivalTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad field count": "1,2\n",
+		"non-numeric":     "0,1,2\n1,x,2\n",
+		"negative":        "0,-1,2\n",
+		"empty":           "# only comments\n",
+		"zero arrivals":   "0,0.1,1\n",
+	}
+	for name, csv := range cases {
+		if _, err := ParseArrivalTrace(strings.NewReader(csv), units.Seconds(1)); err == nil {
+			t.Errorf("%s: no error for %q", name, csv)
+		}
+	}
+	if _, err := ParseArrivalTrace(strings.NewReader("0,1,1\n"), 0); err == nil {
+		t.Error("no error for zero tau")
+	}
+}
